@@ -1,0 +1,78 @@
+// Shared scaffolding for the figure/table reproduction benches.
+//
+// Every bench prints (1) the series/rows the paper's figure plots, as
+// aligned columns, and (2) a set of PASS/FAIL shape checks against the
+// paper's qualitative claims. Default runs use the scaled timeline
+// (ScenarioConfig::scaled()); pass --full for paper-scale durations.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/scenario.hpp"
+
+namespace benchutil {
+
+struct Args {
+  bool full = false;
+  std::uint64_t seed = 42;
+};
+
+inline Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) args.full = true;
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  return args;
+}
+
+inline void header(const char* artifact, const char* claim) {
+  std::printf("\n=== %s ===\n", artifact);
+  std::printf("paper claim: %s\n\n", claim);
+}
+
+inline int g_failures = 0;
+
+inline bool check(const char* what, bool ok) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what);
+  if (!ok) ++benchutil::g_failures;
+  return ok;
+}
+
+inline int finish() {
+  if (g_failures == 0) {
+    std::printf("\nall shape checks passed\n");
+  } else {
+    std::printf("\n%d shape check(s) FAILED\n", g_failures);
+  }
+  return g_failures == 0 ? 0 : 1;
+}
+
+/// The paper's §6 experiment configuration at either scale.
+inline tcpz::sim::ScenarioConfig paper_scenario(const Args& args) {
+  tcpz::sim::ScenarioConfig cfg;
+  cfg.seed = args.seed;
+  if (!args.full) cfg = cfg.scaled();
+  return cfg;
+}
+
+/// Seconds bins of the pre-attack window (with margin for warm-up/edges).
+inline std::size_t pre_lo(const tcpz::sim::ScenarioConfig& c) {
+  return c.attack_start_bin() / 2;
+}
+inline std::size_t pre_hi(const tcpz::sim::ScenarioConfig& c) {
+  return c.attack_start_bin() - 2;
+}
+/// Bins of the steady part of the attack window.
+inline std::size_t atk_lo(const tcpz::sim::ScenarioConfig& c) {
+  return c.attack_start_bin() + (c.attack_end_bin() - c.attack_start_bin()) / 4;
+}
+inline std::size_t atk_hi(const tcpz::sim::ScenarioConfig& c) {
+  return c.attack_end_bin() - 1;
+}
+
+}  // namespace benchutil

@@ -1,0 +1,75 @@
+// Figure 11 / Experiment 2: effective attack rate (established connections
+// per second across the whole botnet) during a connection flood —
+// challenges vs cookies.
+//
+// Paper shape: cookies leave the attack rate untouched (avg 225 cps);
+// challenges throttle it to a few cps — a reduction of more than an order
+// of magnitude (paper: factor 37).
+#include "bench_common.hpp"
+
+using namespace tcpz;
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::parse(argc, argv);
+  const auto base = benchutil::paper_scenario(args);
+
+  benchutil::header(
+      "Figure 11: effective attacker established-connection rate",
+      "cookies: hundreds of cps; challenges: a few cps (factor ~37 less)");
+
+  sim::ScenarioConfig chal = base;
+  chal.attack = sim::AttackType::kConnFlood;
+  chal.bots_solve = false;  // raw nping flood bypasses the bot kernel solver
+  chal.defense = tcp::DefenseMode::kPuzzles;
+  chal.difficulty = {2, 17};
+  const auto with_chal = sim::run_scenario(chal);
+
+  sim::ScenarioConfig cook = base;
+  cook.attack = sim::AttackType::kConnFlood;
+  cook.bots_solve = false;
+  cook.defense = tcp::DefenseMode::kSynCookies;
+  const auto with_cook = sim::run_scenario(cook);
+
+  std::printf("attacker established connections per second, 10 s bins:\n");
+  std::printf("%-8s %18s %18s\n", "t(s)", "with challenges", "with cookies");
+  for (std::size_t t = base.attack_start_bin(); t < base.attack_end_bin();
+       t += 10) {
+    std::printf("%-8zu %18.1f %18.1f\n", t,
+                with_chal.server.attacker_cps(t, t + 10),
+                with_cook.server.attacker_cps(t, t + 10));
+  }
+
+  const std::size_t a = benchutil::atk_lo(base), b = benchutil::atk_hi(base);
+  const double chal_cps = with_chal.server.attacker_cps(a, b);
+  const double cook_cps = with_cook.server.attacker_cps(a, b);
+  std::printf("\nattack-window averages: challenges %.1f cps, cookies %.1f "
+              "cps, reduction factor %.1f\n",
+              chal_cps, cook_cps, cook_cps / std::max(chal_cps, 1e-9));
+
+  benchutil::check("cookies leave the attackers above 100 cps",
+                   cook_cps > 100.0);
+  benchutil::check("challenges throttle attackers below 30 cps",
+                   chal_cps < 30.0);
+  benchutil::check("reduction factor exceeds 10x",
+                   cook_cps > 10.0 * std::max(chal_cps, 1e-9));
+
+  // For comparison, a botnet that DOES solve (Experiment 5's SA case) is
+  // bounded by its serial solver throughput per bot.
+  sim::ScenarioConfig solving = chal;
+  solving.bots_solve = true;
+  const auto with_solving = sim::run_scenario(solving);
+  const double solving_cps = with_solving.server.attacker_cps(a, b);
+  const double per_bot_bound =
+      base.bot_cpu.hash_rate * base.bot_cpu.solver_lanes /
+      puzzle::Difficulty{2, 17}.expected_solve_hashes();
+  std::printf("\nsolving botnet (SA): %.1f cps total; per-bot %.2f vs solver "
+              "bound %.2f cps\n",
+              solving_cps, solving_cps / base.n_bots, per_bot_bound);
+  benchutil::check("a solving botnet is bounded by its solver throughput "
+                   "(within 2x, openings included)",
+                   solving_cps / base.n_bots < per_bot_bound * 2.0);
+  benchutil::check("even a solving botnet stays 5x below the cookie rate",
+                   cook_cps > 5.0 * solving_cps);
+
+  return benchutil::finish();
+}

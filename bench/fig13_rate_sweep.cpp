@@ -1,0 +1,70 @@
+// Figure 13 / Experiment 4, first scenario: 5 bots, per-node attack rate
+// swept 100..1000 pps, against Nash-difficulty puzzles.
+//
+// Paper shape: the measured (emitted) attack rate grows with the configured
+// rate but saturates well below the attempted rate; the completed-connection
+// rate stays essentially flat (~11 cps) regardless of the per-node rate —
+// raising the rate buys the attacker nothing.
+#include "bench_common.hpp"
+
+using namespace tcpz;
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::parse(argc, argv);
+  auto base = benchutil::paper_scenario(args);
+  if (!args.full) {
+    base.duration = SimTime::seconds(90);
+    base.attack_start = SimTime::seconds(20);
+    base.attack_end = SimTime::seconds(70);
+  }
+  base.attack = sim::AttackType::kConnFlood;
+  base.defense = tcp::DefenseMode::kPuzzles;
+  base.difficulty = {2, 17};
+  base.n_bots = 5;
+
+  benchutil::header(
+      "Figure 13: effect of the per-node attack rate (5 bots)",
+      "measured attack rate saturates below the attempted rate; completed "
+      "connections stay flat (~11 cps) as the rate grows");
+
+  std::printf("%-18s %16s %18s %18s\n", "rate/node (pps)", "attempted",
+              "measured (pps)", "completed (cps)");
+  std::vector<double> completed, measured;
+  for (const double rate : {100.0, 200.0, 400.0, 600.0, 800.0, 1000.0}) {
+    sim::ScenarioConfig cfg = base;
+    cfg.seed = args.seed + static_cast<std::uint64_t>(rate);
+    cfg.bot_rate = rate;
+    const auto res = sim::run_scenario(cfg);
+    const std::size_t a = benchutil::atk_lo(cfg), b = benchutil::atk_hi(cfg);
+    const double meas = res.bot_measured_rate(a, b);
+    const double comp = res.server.attacker_cps(a, b);
+    measured.push_back(meas);
+    completed.push_back(comp);
+    std::printf("%-18.0f %16.0f %18.1f %18.2f\n", rate,
+                rate * cfg.n_bots, meas, comp);
+  }
+
+  benchutil::check("measured attack rate grows with the per-node rate",
+                   measured.back() > measured.front());
+  benchutil::check("measured rate saturates below 60% of attempted at the "
+                   "highest setting",
+                   measured.back() < 0.6 * 1000.0 * base.n_bots);
+  benchutil::check("completion rate is flat: max/min <= 3 across the sweep",
+                   [&] {
+                     double lo = 1e18, hi = 0;
+                     for (double c : completed) {
+                       lo = std::min(lo, c);
+                       hi = std::max(hi, c);
+                     }
+                     return hi <= 3.0 * std::max(lo, 0.5);
+                   }());
+  benchutil::check("completion rate stays below 30 cps at every setting",
+                   [&] {
+                     for (double c : completed) {
+                       if (c >= 30.0) return false;
+                     }
+                     return true;
+                   }());
+
+  return benchutil::finish();
+}

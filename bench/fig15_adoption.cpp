@@ -1,0 +1,88 @@
+// Figure 15 / Experiment 5: partial adoption. Percentage of established
+// client connections when the attacker and/or the clients do not run the
+// puzzle-enabled stack, under a connection flood:
+//   (NA, NC): neither solves    -> clients denied (near 0%)
+//   (SA, NC): attacker solves, clients do not -> erratic, sometimes 0%
+//   (*A, SC): clients solve     -> almost always served, either attacker
+//
+// Legacy (non-solving) endpoints ignore the challenge TCP option, ACK
+// blindly and only learn from the RST on their first data segment.
+#include "bench_common.hpp"
+
+using namespace tcpz;
+
+namespace {
+
+struct Case {
+  const char* name;
+  bool bots_solve;
+  bool clients_solve;
+};
+
+double established_pct(const sim::ScenarioResult& res,
+                       const sim::ScenarioConfig& cfg) {
+  // Percentage of attack-window wire attempts that completed a request. The
+  // paper's clients are closed-loop, so attempts the local solver refused
+  // before any packet was sent do not enter the denominator.
+  double attempts = 0, completions = 0, refused = 0;
+  for (const auto& c : res.clients) {
+    for (std::size_t t = benchutil::atk_lo(cfg); t < benchutil::atk_hi(cfg);
+         ++t) {
+      attempts += c.attempts.total(t);
+      completions += c.completions.total(t);
+      refused += c.refusals.total(t);
+    }
+  }
+  const double wire = attempts - refused;
+  return wire > 0 ? 100.0 * completions / wire : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::parse(argc, argv);
+  auto base = benchutil::paper_scenario(args);
+  base.attack = sim::AttackType::kConnFlood;
+  base.defense = tcp::DefenseMode::kPuzzles;
+  base.difficulty = {2, 17};
+
+  benchutil::header(
+      "Figure 15: adoption scenarios (percentage of established connections)",
+      "solving clients are served under either attacker; non-solving clients "
+      "get erratic service vs a solving attacker and none vs a flooding one");
+
+  const Case cases[] = {
+      {"(NA,NC) non-solving attacker, non-solving clients", false, false},
+      {"(SA,NC) solving attacker, non-solving clients", true, false},
+      {"(NA,SC) non-solving attacker, solving clients", false, true},
+      {"(SA,SC) solving attacker, solving clients", true, true},
+  };
+
+  double pct[4];
+  for (int i = 0; i < 4; ++i) {
+    sim::ScenarioConfig cfg = base;
+    cfg.seed = args.seed + static_cast<std::uint64_t>(i);
+    cfg.bots_solve = cases[i].bots_solve;
+    cfg.clients_solve = cases[i].clients_solve;
+    const auto res = sim::run_scenario(cfg);
+    pct[i] = established_pct(res, cfg);
+    std::printf("%-55s %6.1f%%\n", cases[i].name, pct[i]);
+  }
+  const double sc_min = std::min(pct[2], pct[3]);
+
+  benchutil::check("(NA,NC): non-solving clients vs flood get < 25%",
+                   pct[0] < 25.0);
+  // Our controller holds protection longer than the paper's, so the openings
+  // that gave the paper's (SA,NC) its erratic bursts are rarer here; the
+  // ordering (no worse than (NA,NC), far worse than solving clients) is the
+  // claim that must survive.
+  benchutil::check("(SA,NC): no worse than (NA,NC), still degraded (< 85%)",
+                   pct[1] >= pct[0] && pct[1] < 85.0);
+  benchutil::check("(*A,SC): solving clients get >= 60% against either "
+                   "attacker type",
+                   sc_min >= 60.0);
+  benchutil::check("solving clients always beat non-solving clients",
+                   sc_min > std::max(pct[0], pct[1]));
+
+  return benchutil::finish();
+}

@@ -1,0 +1,182 @@
+// Microbenchmarks (google-benchmark) of the cryptographic primitives and
+// wire codecs: the real costs behind g(p), d(p) and ℓ(p) and behind the §7
+// solution-flood arithmetic.
+#include <benchmark/benchmark.h>
+
+#include "crypto/hmac.hpp"
+#include "crypto/secret.hpp"
+#include "crypto/sha256.hpp"
+#include "puzzle/engine.hpp"
+#include "tcp/options.hpp"
+#include "tcp/syncookie.hpp"
+
+using namespace tcpz;
+
+namespace {
+
+const crypto::SecretKey kSecret = crypto::SecretKey::from_seed(1);
+const puzzle::FlowBinding kFlow{0x0a020001, 0x0a010001, 40000, 80, 12345};
+
+void BM_Sha256_64B(benchmark::State& state) {
+  std::array<std::uint8_t, 64> buf{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(buf));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> buf(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_HmacSha256(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(kSecret.bytes(), "message"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HmacSha256);
+
+/// g(p): one challenge generation — the per-SYN cost under attack.
+void BM_ChallengeGenerate(benchmark::State& state) {
+  puzzle::Sha256PuzzleEngine engine(kSecret, {});
+  std::uint32_t ts = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.make_challenge(kFlow, ts++, puzzle::Difficulty{2, 17}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChallengeGenerate);
+
+/// ℓ(p): real brute-force solving, m swept (time ~2^m).
+void BM_Solve(benchmark::State& state) {
+  puzzle::Sha256PuzzleEngine engine(kSecret, {});
+  const puzzle::Difficulty diff{1, static_cast<std::uint8_t>(state.range(0))};
+  Rng rng(7);
+  std::uint32_t ts = 0;
+  std::uint64_t total_ops = 0;
+  for (auto _ : state) {
+    const auto ch = engine.make_challenge(kFlow, ts++, diff);
+    std::uint64_t ops = 0;
+    benchmark::DoNotOptimize(engine.solve(ch, kFlow, rng, ops));
+    total_ops += ops;
+  }
+  state.counters["hash_ops/solve"] = benchmark::Counter(
+      static_cast<double>(total_ops) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_Solve)->Arg(4)->Arg(8)->Arg(10)->Arg(12)->Arg(14);
+
+/// d(p): verification of a valid solution (1 + k hashes).
+void BM_VerifyValid(benchmark::State& state) {
+  puzzle::EngineConfig cfg;
+  cfg.expiry_ms = 1u << 30;
+  puzzle::Sha256PuzzleEngine engine(kSecret, cfg);
+  const puzzle::Difficulty diff{2, 10};
+  const auto ch = engine.make_challenge(kFlow, 1, diff);
+  Rng rng(7);
+  std::uint64_t ops = 0;
+  const auto sol = engine.solve(ch, kFlow, rng, ops);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.verify(kFlow, sol, diff, 5));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VerifyValid);
+
+/// The §7 case: rejecting a garbage solution (early exit).
+void BM_VerifyBogus(benchmark::State& state) {
+  puzzle::EngineConfig cfg;
+  cfg.expiry_ms = 1u << 30;
+  puzzle::Sha256PuzzleEngine engine(kSecret, cfg);
+  const puzzle::Difficulty diff{2, 10};
+  puzzle::Solution bogus;
+  bogus.timestamp = 1;
+  bogus.values = {Bytes(8, 0xaa), Bytes(8, 0xbb)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.verify(kFlow, bogus, diff, 5));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VerifyBogus);
+
+/// Replay rejection: expired timestamps cost zero hashes.
+void BM_VerifyExpired(benchmark::State& state) {
+  puzzle::Sha256PuzzleEngine engine(kSecret, {});
+  puzzle::Solution stale;
+  stale.timestamp = 1;
+  stale.values = {Bytes(8, 0xaa)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.verify(kFlow, stale, puzzle::Difficulty{1, 10}, 1u << 24));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VerifyExpired);
+
+void BM_SynCookieEncode(benchmark::State& state) {
+  tcp::SynCookieCodec codec(kSecret);
+  const tcp::FlowKey flow{0x0a020001, 40000, 0x0a010001, 80};
+  std::uint32_t isn = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(flow, isn++, 1460, 1000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SynCookieEncode);
+
+void BM_SynCookieDecode(benchmark::State& state) {
+  tcp::SynCookieCodec codec(kSecret);
+  const tcp::FlowKey flow{0x0a020001, 40000, 0x0a010001, 80};
+  const std::uint32_t cookie = codec.encode(flow, 9, 1460, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(flow, 9, cookie, 1000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SynCookieDecode);
+
+void BM_OptionsEncodeChallenge(benchmark::State& state) {
+  tcp::Options opts;
+  opts.mss = 1460;
+  opts.wscale = 7;
+  opts.ts = tcp::TimestampsOption{1, 2};
+  tcp::ChallengeOption c;
+  c.k = 2;
+  c.m = 17;
+  c.sol_len = 4;
+  c.preimage = Bytes(4, 0x5a);
+  opts.challenge = c;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tcp::encode_options(opts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OptionsEncodeChallenge);
+
+void BM_OptionsDecodeSolution(benchmark::State& state) {
+  tcp::Options opts;
+  opts.ts = tcp::TimestampsOption{1, 2};
+  tcp::SolutionOption s;
+  s.mss = 1460;
+  s.wscale = 7;
+  s.solutions = Bytes(8, 0xcd);
+  opts.solution = s;
+  const Bytes wire = tcp::encode_options(opts);
+  tcp::Options out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tcp::decode_options(wire, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OptionsDecodeSolution);
+
+}  // namespace
+
+BENCHMARK_MAIN();

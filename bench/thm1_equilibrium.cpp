@@ -1,0 +1,94 @@
+// Theorem 1 / Equation 6 and the §4.4 example: the Stackelberg equilibrium
+// puzzle difficulty. Reproduces the finite-N leader optimum converging to
+// the asymptotic Nash price and the (k*, m*) = (2, 17) example.
+#include "bench_common.hpp"
+#include "game/model.hpp"
+#include "game/planner.hpp"
+
+using namespace tcpz;
+
+int main(int argc, char** argv) {
+  (void)benchutil::parse(argc, argv);
+
+  benchutil::header(
+      "Theorem 1 / Eq. 6: Nash equilibrium puzzle difficulty",
+      "k* 2^(m*-1) = w_av/(alpha+1) asymptotically; example (w_av=140630, "
+      "alpha=1.1) => (k=2, m=17)");
+
+  const double w_av = 140'630.0;
+  const double alpha = 1.1;
+  const double limit = game::asymptotic_nash_price(w_av, alpha);
+  std::printf("asymptotic Nash price w_av/(alpha+1) = %.1f hashes/request\n\n",
+              limit);
+
+  std::printf("finite-N leader optimum (uniform valuations w_av, mu = alpha*N):\n");
+  std::printf("%-10s %16s %16s %14s\n", "N", "optimal price", "total rate",
+              "price/limit");
+  double last_ratio = 0;
+  for (const std::size_t n : {10u, 50u, 200u, 1000u, 5000u}) {
+    game::GameConfig cfg;
+    cfg.valuations.assign(n, w_av);
+    cfg.mu = alpha * static_cast<double>(n);
+    const auto sol = game::optimal_price(cfg);
+    last_ratio = sol.price / limit;
+    std::printf("%-10zu %16.1f %16.3f %14.4f\n", n, sol.price, sol.total_rate,
+                last_ratio);
+  }
+  benchutil::check("finite-N optimal price converges to the asymptotic form",
+                   std::abs(last_ratio - 1.0) < 0.03);
+
+  std::printf("\nfeasibility bound (Eq. 10) and dropped users:\n");
+  {
+    game::GameConfig cfg;
+    cfg.valuations.assign(100, w_av);
+    cfg.mu = 110.0;
+    const double r_hat = game::max_feasible_price(cfg);
+    std::printf("r_hat = %.1f; equilibrium exists below, vanishes above:\n",
+                r_hat);
+    for (const double f : {0.5, 0.9, 1.1}) {
+      const auto eq = game::solve_equilibrium(cfg, f * r_hat);
+      std::printf("  price = %.2f r_hat -> total rate %.3f (exists=%d)\n", f,
+                  eq.total_rate, eq.exists ? 1 : 0);
+    }
+    benchutil::check("equilibrium vanishes above r_hat",
+                     !game::solve_equilibrium(cfg, 1.1 * r_hat).exists);
+  }
+
+  std::printf("\nprovisioning tradeoff (§4.2): better-provisioned servers ask "
+              "for easier puzzles\n");
+  std::printf("%-10s %16s %10s\n", "alpha", "price (hashes)", "(k, m)");
+  double prev_price = 1e18;
+  bool monotone = true;
+  for (const double a : {0.25, 0.5, 1.1, 2.0, 4.0}) {
+    const double price = game::asymptotic_nash_price(w_av, a);
+    const auto d = game::choose_difficulty(price);
+    std::printf("%-10.2f %16.1f %10s\n", a, price, d.to_string().c_str());
+    monotone = monotone && price < prev_price;
+    prev_price = price;
+  }
+  benchutil::check("price strictly decreases with provisioning alpha", monotone);
+
+  std::printf("\n§4.4 example, both readings of Theorem 1 (see EXPERIMENTS.md):\n");
+  const auto appendix = game::choose_difficulty(
+      game::nash_hash_target(w_av, alpha, game::NashForm::kAppendix));
+  const auto example = game::choose_difficulty(
+      game::nash_hash_target(w_av, alpha, game::NashForm::kPaperExample));
+  std::printf("  appendix form  w_av/(alpha+1): %s\n", appendix.to_string().c_str());
+  std::printf("  paper example  ~w_av:          %s  (the (2,17) the paper deploys)\n",
+              example.to_string().c_str());
+  benchutil::check("paper-example form yields (2, 17)",
+                   example.k == 2 && example.m == 17);
+  benchutil::check("appendix form yields the half-price (2, 16)",
+                   appendix.k == 2 && appendix.m == 16);
+
+  const puzzle::Difficulty nash{2, 17};
+  std::printf("\nNash puzzle properties: expected solve %.0f hashes, verify "
+              "%.1f hashes, guess probability 2^-%u\n",
+              nash.expected_solve_hashes(), nash.expected_verify_hashes(),
+              nash.guess_bits());
+  benchutil::check("client/server cost asymmetry exceeds 10^4",
+                   nash.expected_solve_hashes() / nash.expected_verify_hashes() >
+                       1e4);
+
+  return benchutil::finish();
+}

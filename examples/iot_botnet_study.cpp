@@ -1,0 +1,74 @@
+// IoT botnet study (Experiment 6 extended): what Mirai-class devices can and
+// cannot do against a puzzle-protected server, and how large a botnet an
+// attacker must assemble to regain an effective attack.
+//
+//   ./build/examples/iot_botnet_study
+#include <cstdio>
+
+#include "sim/devices.hpp"
+#include "sim/scenario.hpp"
+
+using namespace tcpz;
+using namespace tcpz::sim;
+
+namespace {
+
+double effective_cps(const DeviceProfile& dev, int n_bots) {
+  ScenarioConfig cfg = ScenarioConfig{}.scaled();
+  cfg.attack = AttackType::kConnFlood;
+  cfg.defense = tcp::DefenseMode::kPuzzles;
+  cfg.difficulty = {2, 17};
+  cfg.n_bots = n_bots;
+  cfg.bot_rate = 5000.0 / n_bots;
+  cfg.bot_cpu = {dev.hash_rate, dev.cores, 1};
+  const ScenarioResult res = run_scenario(cfg);
+  const std::size_t a =
+      cfg.attack_start_bin() + (cfg.attack_end_bin() - cfg.attack_start_bin()) / 4;
+  return res.server.attacker_cps(a, cfg.attack_end_bin() - 1);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== IoT botnets vs TCP client puzzles ==\n\n");
+  const puzzle::Difficulty nash{2, 17};
+
+  std::printf("device capability at the Nash difficulty (%s):\n",
+              nash.to_string().c_str());
+  std::printf("%-6s %-52s %12s %14s %16s\n", "dev", "description", "hash/s",
+              "solve (s)", "max cps (1 core)");
+  for (const auto& dev : kIotDevices) {
+    const double solve = nash.expected_solve_hashes() / dev.hash_rate;
+    std::printf("%-6s %-52s %12.0f %14.2f %16.2f\n", dev.name.data(),
+                dev.description.data(), dev.hash_rate, solve, 1.0 / solve);
+  }
+
+  std::printf("\nmeasured effective attack rate, 10-bot flood at 5000 pps "
+              "total:\n");
+  std::printf("%-10s %22s\n", "botnet", "effective rate (cps)");
+  const double d1 = effective_cps(kIotDevices[0], 10);
+  const double d4 = effective_cps(kIotDevices[3], 10);
+  std::printf("%-10s %22.2f\n", "10x D1", d1);
+  std::printf("%-10s %22.2f\n", "10x D4", d4);
+
+  ScenarioConfig xeon = ScenarioConfig{}.scaled();
+  xeon.attack = AttackType::kConnFlood;
+  xeon.defense = tcp::DefenseMode::kPuzzles;
+  xeon.difficulty = nash;
+  const ScenarioResult xr = run_scenario(xeon);
+  const std::size_t a = xeon.attack_start_bin() +
+                        (xeon.attack_end_bin() - xeon.attack_start_bin()) / 4;
+  const double xeon_cps = xr.server.attacker_cps(a, xeon.attack_end_bin() - 1);
+  std::printf("%-10s %22.2f\n", "10x Xeon", xeon_cps);
+
+  // The economics argument of §1/§6.4: to regain an effective 5000 cps
+  // state-exhaustion attack, the botnet must grow enormously.
+  const double per_d1 = std::max(d1 / 10.0, 1e-3);
+  std::printf("\nto reach 5000 effective cps an attacker needs ~%.0f D1-class "
+              "devices (vs ~10 unprotected)\n",
+              5000.0 / per_d1);
+  std::printf("=> the botnet must grow by a factor of ~%.0f; Mirai-class "
+              "fleets lose their cheap-asset advantage\n",
+              5000.0 / per_d1 / 10.0);
+  return 0;
+}

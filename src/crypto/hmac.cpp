@@ -1,0 +1,46 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace tcpz::crypto {
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> message) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> key_block{};
+
+  if (key.size() > kBlock) {
+    const Sha256Digest kh = Sha256::hash(key);
+    std::memcpy(key_block.data(), kh.data(), kh.size());
+  } else {
+    std::memcpy(key_block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad{};
+  std::array<std::uint8_t, kBlock> opad{};
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Sha256Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::string_view message) {
+  return hmac_sha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(message.data()),
+               message.size()));
+}
+
+}  // namespace tcpz::crypto

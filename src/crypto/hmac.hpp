@@ -1,0 +1,19 @@
+// HMAC-SHA256 (RFC 2104). Used by the SYN-cookie generator and by the puzzle
+// pre-image construction, which keys the hash with the server secret so
+// clients cannot forge challenges for arbitrary flows.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+
+namespace tcpz::crypto {
+
+[[nodiscard]] Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                       std::span<const std::uint8_t> message);
+
+[[nodiscard]] Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                       std::string_view message);
+
+}  // namespace tcpz::crypto

@@ -1,0 +1,38 @@
+#include "crypto/secret.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace tcpz::crypto {
+
+SecretKey SecretKey::from_seed(std::uint64_t seed) {
+  // Expand the 64-bit seed through SHA-256 so structurally similar seeds do
+  // not produce structurally similar keys.
+  Bytes seed_bytes;
+  seed_bytes.reserve(16);
+  put_u64be(seed_bytes, seed);
+  put_u64be(seed_bytes, seed ^ 0xa5a5a5a5a5a5a5a5ull);
+  const Sha256Digest d = Sha256::hash(seed_bytes);
+  SecretKey k;
+  std::copy(d.begin(), d.end(), k.key_.begin());
+  return k;
+}
+
+SecretKey SecretKey::random() {
+  SecretKey k;
+  std::FILE* f = std::fopen("/dev/urandom", "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("SecretKey::random: cannot open /dev/urandom");
+  }
+  const std::size_t n = std::fread(k.key_.data(), 1, k.key_.size(), f);
+  std::fclose(f);
+  if (n != k.key_.size()) {
+    throw std::runtime_error("SecretKey::random: short read from urandom");
+  }
+  return k;
+}
+
+}  // namespace tcpz::crypto

@@ -1,0 +1,33 @@
+// Server secret keys. The paper generates the secret once per listening
+// socket lifetime (§5); we mirror that: a SecretKey is created when the
+// listener starts and is used for every challenge pre-image and SYN cookie.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace tcpz::crypto {
+
+inline constexpr std::size_t kSecretKeySize = 32;
+
+class SecretKey {
+ public:
+  /// Deterministic key derived from a seed — simulations must be
+  /// reproducible, so the simulator derives per-listener keys from the
+  /// scenario seed rather than the OS entropy pool.
+  [[nodiscard]] static SecretKey from_seed(std::uint64_t seed);
+
+  /// Key from the OS entropy pool (getrandom / /dev/urandom), for real use
+  /// outside the simulator.
+  [[nodiscard]] static SecretKey random();
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return key_; }
+
+  bool operator==(const SecretKey&) const = default;
+
+ private:
+  std::array<std::uint8_t, kSecretKeySize> key_{};
+};
+
+}  // namespace tcpz::crypto

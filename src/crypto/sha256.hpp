@@ -1,0 +1,55 @@
+// SHA-256 (FIPS 180-4), implemented from scratch so the library has no
+// external crypto dependency. The paper's puzzle scheme (after Juels &
+// Brainard) relies only on pre-image resistance of the hash; the Linux patch
+// used the kernel's SHA-256, we use this one.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace tcpz::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256. Usage: update() any number of times, then finalize().
+/// After finalize() the object can be reset() and reused.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+  [[nodiscard]] Sha256Digest finalize();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Sha256Digest hash(std::span<const std::uint8_t> data);
+  [[nodiscard]] static Sha256Digest hash(std::string_view s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::uint64_t bit_count_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+/// Returns the first `bits` bits of `digest` packed into bytes, remaining
+/// bits of the last byte zeroed. The puzzle scheme compares m-bit prefixes.
+[[nodiscard]] Bytes prefix_bits(const Sha256Digest& digest, unsigned bits);
+
+/// True iff the first `bits` bits of a and b agree.
+[[nodiscard]] bool prefix_bits_equal(const Sha256Digest& a,
+                                     const Sha256Digest& b, unsigned bits);
+
+}  // namespace tcpz::crypto

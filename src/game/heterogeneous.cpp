@@ -1,0 +1,98 @@
+#include "game/heterogeneous.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcpz::game {
+namespace {
+
+/// Golden-section maximisation of f on [lo, hi].
+template <typename F>
+std::pair<double, double> maximize(F&& f, double lo, double hi) {
+  constexpr double kPhi = 0.6180339887498949;
+  double x1 = hi - kPhi * (hi - lo);
+  double x2 = lo + kPhi * (hi - lo);
+  double f1 = f(x1), f2 = f(x2);
+  for (int it = 0; it < 120; ++it) {
+    if (f1 < f2) {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kPhi * (hi - lo);
+      f2 = f(x2);
+    } else {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kPhi * (hi - lo);
+      f1 = f(x1);
+    }
+  }
+  const double x = 0.5 * (x1 + x2);
+  return {x, f(x)};
+}
+
+/// The congestion term S'(x̄) at the self-consistent uniform equilibrium —
+/// the operating point both comparisons are evaluated at.
+double delay_term_at_uniform_optimum(const GameConfig& cfg) {
+  const PriceSolution uniform = optimal_price(cfg);
+  const Equilibrium eq = solve_equilibrium(cfg, uniform.price);
+  const double slack = cfg.mu - eq.total_rate;
+  return slack > 0 ? 1.0 / (slack * slack) : 0.0;
+}
+
+double demand(double w, double price, double delay_term) {
+  return std::max(0.0, w / (price + delay_term) - 1.0);
+}
+
+}  // namespace
+
+DiscriminatoryResult discriminatory_prices(const GameConfig& cfg) {
+  DiscriminatoryResult out;
+  const std::size_t n = cfg.n_users();
+  out.prices.assign(n, 0.0);
+  out.rates.assign(n, 0.0);
+  if (n == 0) return out;
+
+  const double delay_term = delay_term_at_uniform_optimum(cfg);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = cfg.valuations[i];
+    const double hi = w - delay_term;
+    if (hi <= 0) continue;
+    const auto [price, revenue] = maximize(
+        [&](double r) { return r * demand(w, r, delay_term); }, 0.0, hi);
+    out.prices[i] = price;
+    out.rates[i] = demand(w, price, delay_term);
+    out.objective += revenue;
+  }
+  return out;
+}
+
+double uniform_objective(const GameConfig& cfg) {
+  // The best single price, evaluated against the same fixed congestion term
+  // as discriminatory_prices — a partial-equilibrium comparison at the
+  // uniform operating point, so homogeneous populations give ratio 1.
+  if (cfg.n_users() == 0) return 0.0;
+  const double delay_term = delay_term_at_uniform_optimum(cfg);
+  double w_max = 0.0;
+  for (double w : cfg.valuations) w_max = std::max(w_max, w);
+  const double hi = w_max - delay_term;
+  if (hi <= 0) return 0.0;
+  const auto [price, revenue] = maximize(
+      [&](double r) {
+        double total = 0.0;
+        for (double w : cfg.valuations) total += r * demand(w, r, delay_term);
+        return total;
+      },
+      0.0, hi);
+  (void)price;
+  return revenue;
+}
+
+double price_of_statelessness(const GameConfig& cfg) {
+  const double uniform = uniform_objective(cfg);
+  if (uniform <= 0) return 1.0;
+  return discriminatory_prices(cfg).objective / uniform;
+}
+
+}  // namespace tcpz::game

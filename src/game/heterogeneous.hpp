@@ -1,0 +1,43 @@
+// Per-user (discriminatory) pricing analysis — an extension of §3.
+//
+// The provider's problem (Eq. 3) allows a different puzzle p_i per user;
+// §4 then fixes a uniform difficulty to keep the protocol stateless. This
+// module quantifies what that uniformity costs ("the price of
+// statelessness"): the revenue-maximising discriminatory price charges each
+// user individually, the uniform price is one compromise across the mix.
+//
+// Result (see tests and the analysis in EXPERIMENTS.md): under the paper's
+// own log-utility demand, the gap is tiny — a few percent even for heavily
+// skewed valuation mixes — because low-valuation users self-select out at
+// the uniform price. The stateless uniform design is near-optimal in its
+// own model, a stronger justification than the protocol-engineering one
+// the paper gives.
+#pragma once
+
+#include "game/model.hpp"
+
+namespace tcpz::game {
+
+struct DiscriminatoryResult {
+  std::vector<double> prices;  ///< per-user ℓ(p_i)
+  std::vector<double> rates;   ///< per-user x_i at those prices
+  double objective = 0.0;      ///< Σ ℓ(p_i) x_i
+};
+
+/// Computes the per-user revenue-maximising prices, holding the aggregate
+/// service-delay term at its uniform-price equilibrium level (partial
+/// equilibrium at the uniform operating point: with the congestion term
+/// fixed, user problems separate). Solved per user by golden-section search.
+[[nodiscard]] DiscriminatoryResult discriminatory_prices(const GameConfig& cfg);
+
+/// The best *single* price evaluated against the same fixed congestion term
+/// (so the comparison with discriminatory_prices is apples-to-apples and a
+/// homogeneous population yields exactly ratio 1).
+[[nodiscard]] double uniform_objective(const GameConfig& cfg);
+
+/// objective(discriminatory) / objective(uniform) >= 1; equals 1 for
+/// homogeneous users. This is the factor the stateless design leaves on the
+/// table for a given valuation mix.
+[[nodiscard]] double price_of_statelessness(const GameConfig& cfg);
+
+}  // namespace tcpz::game

@@ -1,0 +1,172 @@
+#include "game/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tcpz::game {
+namespace {
+
+constexpr int kBisectIters = 200;
+constexpr int kActiveSetMaxRounds = 64;
+
+/// Marginal price faced by every user at aggregate rate x̄:
+/// λ(x̄) = r + S'(x̄) = r + 1/(µ - x̄)².
+double marginal_price(double price, double mu, double x_bar) {
+  const double slack = mu - x_bar;
+  return price + 1.0 / (slack * slack);
+}
+
+}  // namespace
+
+double GameConfig::total_valuation() const {
+  double sum = 0.0;
+  for (double w : valuations) sum += w;
+  return sum;
+}
+
+double GameConfig::average_valuation() const {
+  return valuations.empty() ? 0.0
+                            : total_valuation() /
+                                  static_cast<double>(valuations.size());
+}
+
+double client_utility(double w, double x_i, double x_bar, double price,
+                      double mu) {
+  if (x_bar >= mu) return -std::numeric_limits<double>::infinity();
+  return w * std::log1p(x_i) - price * x_i - 1.0 / (mu - x_bar);
+}
+
+double max_feasible_price(const GameConfig& cfg) {
+  if (cfg.valuations.empty() || cfg.mu <= 0.0) return 0.0;
+  return cfg.average_valuation() - 1.0 / (cfg.mu * cfg.mu);
+}
+
+Equilibrium solve_equilibrium(const GameConfig& cfg, double price) {
+  Equilibrium eq;
+  const std::size_t n = cfg.n_users();
+  eq.rates.assign(n, 0.0);
+  if (n == 0 || cfg.mu <= 0.0 || price < 0.0) return eq;
+  for (double w : cfg.valuations) {
+    if (w < 0.0) throw std::invalid_argument("game: valuations must be >= 0");
+  }
+
+  // Active-set loop: start with every user in the game; any user whose
+  // unconstrained best response is negative is pinned to x_i = 0 and the
+  // reduced game is re-solved. Terminates because the active set shrinks.
+  std::vector<bool> active(n, true);
+  for (int round = 0; round < kActiveSetMaxRounds; ++round) {
+    double w_active = 0.0;
+    std::size_t n_active = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i]) {
+        w_active += cfg.valuations[i];
+        ++n_active;
+      }
+    }
+    if (n_active == 0) return eq;  // everyone dropped out
+
+    // Aggregate FOC: find x̄ in [0, µ) with
+    //   F(x̄) = w_active / λ(x̄) - n_active - x̄ = 0.
+    // F is strictly decreasing; F(µ⁻) < 0 always. If F(0) <= 0 the whole
+    // active set wants x̄ = 0.
+    const auto f = [&](double x_bar) {
+      return w_active / marginal_price(price, cfg.mu, x_bar) -
+             static_cast<double>(n_active) - x_bar;
+    };
+    double lo = 0.0;
+    double hi = cfg.mu * (1.0 - 1e-12);
+    double x_bar = 0.0;
+    if (f(lo) <= 0.0) {
+      x_bar = 0.0;
+    } else {
+      for (int it = 0; it < kBisectIters; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        (f(mid) > 0.0 ? lo : hi) = mid;
+      }
+      x_bar = 0.5 * (lo + hi);
+    }
+
+    const double lambda = marginal_price(price, cfg.mu, x_bar);
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      const double xi = cfg.valuations[i] / lambda - 1.0;
+      if (xi <= 0.0) {
+        active[i] = false;
+        changed = true;
+      }
+    }
+    if (changed) continue;
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i]) {
+        eq.rates[i] = std::max(0.0, cfg.valuations[i] / lambda - 1.0);
+        total += eq.rates[i];
+      }
+    }
+    eq.total_rate = total;
+    eq.exists = total > 0.0;
+    return eq;
+  }
+  return eq;  // unreachable in practice; active set strictly shrinks
+}
+
+double provider_objective(const GameConfig& cfg, unsigned k, unsigned m) {
+  if (k == 0 || m == 0) return 0.0;
+  const double price =
+      static_cast<double>(k) * std::exp2(static_cast<double>(m) - 1.0);
+  const Equilibrium eq = solve_equilibrium(cfg, price);
+  if (!eq.exists) return 0.0;
+  const double net = price - 2.0 - static_cast<double>(k) / 2.0;
+  return net * eq.total_rate;
+}
+
+double provider_objective_approx(const GameConfig& cfg, double price) {
+  const Equilibrium eq = solve_equilibrium(cfg, price);
+  return eq.exists ? price * eq.total_rate : 0.0;
+}
+
+PriceSolution optimal_price(const GameConfig& cfg) {
+  PriceSolution best;
+  const double r_hat = max_feasible_price(cfg);
+  if (r_hat <= 0.0) return best;
+
+  // Golden-section search on (0, r_hat). Ĩ is unimodal in the price (it is
+  // G(ȳ) of Eq. 14 under the monotone substitution price <-> ȳ).
+  constexpr double kPhi = 0.6180339887498949;
+  double lo = r_hat * 1e-9;
+  double hi = r_hat * (1.0 - 1e-9);
+  double x1 = hi - kPhi * (hi - lo);
+  double x2 = lo + kPhi * (hi - lo);
+  double f1 = provider_objective_approx(cfg, x1);
+  double f2 = provider_objective_approx(cfg, x2);
+  for (int it = 0; it < 200; ++it) {
+    if (f1 < f2) {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kPhi * (hi - lo);
+      f2 = provider_objective_approx(cfg, x2);
+    } else {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kPhi * (hi - lo);
+      f1 = provider_objective_approx(cfg, x1);
+    }
+  }
+  best.price = 0.5 * (x1 + x2);
+  const Equilibrium eq = solve_equilibrium(cfg, best.price);
+  best.total_rate = eq.total_rate;
+  best.objective = provider_objective_approx(cfg, best.price);
+  return best;
+}
+
+double asymptotic_nash_price(double w_av, double alpha) {
+  if (w_av <= 0.0 || alpha <= -1.0) return 0.0;
+  return w_av / (alpha + 1.0);
+}
+
+}  // namespace tcpz::game

@@ -1,0 +1,78 @@
+// The Stackelberg difficulty-selection game of §3–§4.
+//
+// Followers (clients): user i picks request rate x_i maximizing
+//     u_i = w_i log(1 + x_i) - ℓ(p) x_i - 1/(µ - x̄)        (Eq. 4)
+// Leader (server): picks the puzzle price ℓ(p) = k 2^(m-1) maximizing
+//     Σ_i (ℓ(p) - g(p) - d(p)) x_i*(p)                      (Eq. 5)
+//
+// This module solves the finite-N game numerically (first-order conditions
+// via bisection plus an active-set loop for dropped-out users) and exposes
+// the asymptotic Nash price of Theorem 1. All prices are in units of
+// "expected hash operations per request".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tcpz::game {
+
+/// Instance of the clients' game.
+struct GameConfig {
+  std::vector<double> valuations;  ///< w_i > 0, per user
+  double mu = 1000.0;              ///< server service rate (requests/s)
+
+  [[nodiscard]] std::size_t n_users() const { return valuations.size(); }
+  [[nodiscard]] double total_valuation() const;   ///< w̄ = Σ w_i
+  [[nodiscard]] double average_valuation() const; ///< w̄ / N
+};
+
+/// u_i(x_i, x_-i, p) of Eq. (4). `price` is ℓ(p).
+[[nodiscard]] double client_utility(double w, double x_i, double x_bar,
+                                    double price, double mu);
+
+/// Result of solving the followers' equilibrium for a fixed price.
+struct Equilibrium {
+  std::vector<double> rates;  ///< x_i* (0 for dropped-out users)
+  double total_rate = 0.0;    ///< x̄*
+  bool exists = false;        ///< false iff price >= feasibility bound
+};
+
+/// Maximum price r̂ = w̄/N - 1/µ² below which an interior equilibrium exists
+/// (Eq. 10).
+[[nodiscard]] double max_feasible_price(const GameConfig& cfg);
+
+/// Solves the followers' Nash equilibrium for a fixed price by bisection on
+/// the aggregate first-order condition (Eq. 9), with an active-set outer loop
+/// that removes users whose best response is x_i = 0 (those with
+/// w_i below the equilibrium marginal price; §7 "a user that does not adopt
+/// TCP challenges is similar to one that values the service at w = 0").
+[[nodiscard]] Equilibrium solve_equilibrium(const GameConfig& cfg, double price);
+
+/// Leader's exact objective I(p) of Eq. (12) for a given (k, m):
+/// (k 2^(m-1) - 2 - k/2) x̄*(p). Returns 0 when no equilibrium exists.
+[[nodiscard]] double provider_objective(const GameConfig& cfg, unsigned k,
+                                        unsigned m);
+
+/// Leader's approximate objective Ĩ(p) = ℓ(p) x̄*(p) of Eq. (13), which
+/// Lemma 1 shows is within an additive constant of I(p).
+[[nodiscard]] double provider_objective_approx(const GameConfig& cfg,
+                                               double price);
+
+/// Maximizes Ĩ over the price in (0, r̂) by golden-section search (G(ȳ) of
+/// Eq. (14) is strictly concave, so the 1-D search is exact).
+struct PriceSolution {
+  double price = 0.0;       ///< ℓ* in expected hashes/request
+  double total_rate = 0.0;  ///< x̄* at that price
+  double objective = 0.0;   ///< Ĩ(ℓ*)
+};
+[[nodiscard]] PriceSolution optimal_price(const GameConfig& cfg);
+
+/// Theorem 1 / Eq. (18): the asymptotic (N → ∞) Nash price w_av / (α + 1).
+///
+/// Note: the theorem statement in the paper's body prints this as
+/// "w_av (α + 1)", but the appendix derivation (Eq. 18) and the economic
+/// reading (a better-provisioned server, larger α, asks for *easier*
+/// puzzles — §4.2) both give w_av / (α + 1); we implement the appendix form.
+[[nodiscard]] double asymptotic_nash_price(double w_av, double alpha);
+
+}  // namespace tcpz::game

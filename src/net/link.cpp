@@ -1,0 +1,45 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+#include "net/node.hpp"
+#include "net/simulator.hpp"
+
+namespace tcpz::net {
+
+Link::Link(Simulator& sim, Node& dst, double bandwidth_bps, SimTime delay,
+           std::size_t queue_cap_bytes, std::string name)
+    : sim_(sim),
+      dst_(dst),
+      bandwidth_bps_(bandwidth_bps),
+      delay_(delay),
+      queue_cap_bytes_(queue_cap_bytes),
+      name_(std::move(name)) {}
+
+std::size_t Link::backlog_bytes() const {
+  const SimTime now = sim_.now();
+  if (busy_until_ <= now) return 0;
+  const double busy_sec = (busy_until_ - now).to_seconds();
+  return static_cast<std::size_t>(busy_sec * bandwidth_bps_ / 8.0);
+}
+
+void Link::transmit(const tcp::Segment& seg) {
+  const std::uint32_t bytes = seg.wire_size();
+  if (backlog_bytes() + bytes > queue_cap_bytes_) {
+    ++stats_.drops;
+    return;
+  }
+  const SimTime now = sim_.now();
+  const SimTime start = std::max(now, busy_until_);
+  const SimTime ser = SimTime::from_seconds(bytes * 8.0 / bandwidth_bps_);
+  busy_until_ = start + ser;
+  const SimTime arrival = busy_until_ + delay_;
+
+  ++stats_.tx_packets;
+  stats_.tx_bytes += bytes;
+
+  // The segment is copied into the closure: the wire owns its packet.
+  sim_.schedule_at(arrival, [this, seg] { dst_.deliver(seg); });
+}
+
+}  // namespace tcpz::net

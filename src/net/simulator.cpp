@@ -1,0 +1,39 @@
+#include "net/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tcpz::net {
+
+void Simulator::schedule_at(SimTime at, Action action) {
+  if (at < now_) {
+    throw std::logic_error("Simulator: scheduling into the past");
+  }
+  queue_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+void Simulator::run_until(SimTime end) {
+  while (!queue_.empty() && queue_.top().at <= end) {
+    // priority_queue::top is const; move via const_cast is UB — copy the
+    // action handle out instead (std::function copy is cheap relative to the
+    // work each event does).
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++processed_;
+    ev.action();
+  }
+  if (now_ < end) now_ = end;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++processed_;
+    ev.action();
+  }
+}
+
+}  // namespace tcpz::net

@@ -1,0 +1,52 @@
+// Discrete-event simulation core. Deterministic: events at equal timestamps
+// fire in scheduling order (a monotone sequence number breaks ties), so a
+// given scenario seed always produces the identical packet trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace tcpz::net {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  void schedule_at(SimTime at, Action action);
+  void schedule_in(SimTime delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Runs every event with timestamp <= end, then advances the clock to end.
+  void run_until(SimTime end);
+  /// Runs until the event queue is empty.
+  void run();
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace tcpz::net

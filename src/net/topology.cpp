@@ -1,0 +1,86 @@
+#include "net/topology.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace tcpz::net {
+
+Host* Topology::add_host(const std::string& name, std::uint32_t addr) {
+  auto host = std::make_unique<Host>(sim_, name, addr);
+  Host* ptr = host.get();
+  nodes_.push_back(std::move(host));
+  hosts_.push_back(ptr);
+  return ptr;
+}
+
+Router* Topology::add_router(const std::string& name) {
+  auto router = std::make_unique<Router>(sim_, name);
+  Router* ptr = router.get();
+  nodes_.push_back(std::move(router));
+  return ptr;
+}
+
+void Topology::connect(Node* a, Node* b, const LinkSpec& spec) {
+  std::size_t ia = nodes_.size(), ib = nodes_.size();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].get() == a) ia = i;
+    if (nodes_[i].get() == b) ib = i;
+  }
+  if (ia == nodes_.size() || ib == nodes_.size()) {
+    throw std::invalid_argument("Topology::connect: unknown node");
+  }
+  auto ab = std::make_unique<Link>(sim_, *b, spec.bandwidth_bps, spec.delay,
+                                   spec.queue_cap_bytes,
+                                   a->name() + "->" + b->name());
+  auto ba = std::make_unique<Link>(sim_, *a, spec.bandwidth_bps, spec.delay,
+                                   spec.queue_cap_bytes,
+                                   b->name() + "->" + a->name());
+  edges_.push_back({ia, ib, ab.get()});
+  edges_.push_back({ib, ia, ba.get()});
+  links_.push_back(std::move(ab));
+  links_.push_back(std::move(ba));
+}
+
+void Topology::compute_routes() {
+  const std::size_t n = nodes_.size();
+  // Adjacency: node index -> outgoing (neighbor index, link).
+  std::vector<std::vector<std::pair<std::size_t, Link*>>> adj(n);
+  for (const Edge& e : edges_) adj[e.from].push_back({e.to, e.link});
+
+  // Hosts with a single uplink get it as default gateway, so replies to
+  // spoofed sources leave the host and die at a router, as on a real edge.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dynamic_cast<Host*>(nodes_[i].get()) != nullptr &&
+        adj[i].size() == 1) {
+      nodes_[i]->set_default_route(adj[i][0].second);
+    }
+  }
+
+  // BFS from each source; record the first-hop link toward every node.
+  for (std::size_t src = 0; src < n; ++src) {
+    std::vector<Link*> first_hop(n, nullptr);
+    std::vector<bool> seen(n, false);
+    seen[src] = true;
+    std::deque<std::size_t> frontier{src};
+    while (!frontier.empty()) {
+      const std::size_t cur = frontier.front();
+      frontier.pop_front();
+      for (const auto& [next, link] : adj[cur]) {
+        if (seen[next]) continue;
+        seen[next] = true;
+        first_hop[next] = (cur == src) ? link : first_hop[cur];
+        frontier.push_back(next);
+      }
+    }
+    // Install exact routes for every reachable host address.
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (dst == src || first_hop[dst] == nullptr) continue;
+      if (const auto* host = dynamic_cast<const Host*>(nodes_[dst].get())) {
+        nodes_[src]->add_route(host->addr(), first_hop[dst]);
+      }
+    }
+  }
+}
+
+}  // namespace tcpz::net

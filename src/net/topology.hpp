@@ -1,0 +1,57 @@
+// Topology container and shortest-path route computation. Owns all nodes and
+// links; `connect` creates a bidirectional pair of unidirectional links;
+// `compute_routes` fills every node's table with BFS next-hops toward every
+// host address (links as unit-cost edges, matching the flat DETER layout).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/simulator.hpp"
+
+namespace tcpz::net {
+
+struct LinkSpec {
+  double bandwidth_bps = 1e9;
+  SimTime delay = SimTime::microseconds(100);
+  std::size_t queue_cap_bytes = 1 << 20;  ///< 1 MiB FIFO
+};
+
+class Topology {
+ public:
+  explicit Topology(Simulator& sim) : sim_(sim) {}
+
+  Host* add_host(const std::string& name, std::uint32_t addr);
+  Router* add_router(const std::string& name);
+
+  /// Creates links a->b and b->a with identical characteristics.
+  void connect(Node* a, Node* b, const LinkSpec& spec);
+
+  /// BFS from every node; installs exact routes for every host address.
+  void compute_routes();
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Link>>& links() const {
+    return links_;
+  }
+  [[nodiscard]] Simulator& sim() const { return sim_; }
+
+ private:
+  struct Edge {
+    std::size_t from, to;
+    Link* link;
+  };
+
+  Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Edge> edges_;
+  std::vector<Host*> hosts_;
+};
+
+}  // namespace tcpz::net

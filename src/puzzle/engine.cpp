@@ -1,0 +1,291 @@
+#include "puzzle/engine.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace tcpz::puzzle {
+namespace {
+
+// Domain-separation labels: the pre-image derivation and the oracle solution
+// derivation must never collide with each other or with SYN-cookie MACs.
+constexpr std::string_view kPreimageLabel = "tcpz-puzzle-preimage-v1";
+constexpr std::string_view kOracleLabel = "tcpz-puzzle-oracle-v1";
+
+Bytes preimage_message(const FlowBinding& flow, std::uint32_t timestamp_ms) {
+  Bytes msg;
+  msg.reserve(kPreimageLabel.size() + 20);
+  msg.insert(msg.end(), kPreimageLabel.begin(), kPreimageLabel.end());
+  put_u32be(msg, timestamp_ms);
+  put_u32be(msg, flow.isn);
+  put_u32be(msg, flow.saddr);
+  put_u32be(msg, flow.daddr);
+  put_u16be(msg, flow.sport);
+  put_u16be(msg, flow.dport);
+  return msg;
+}
+
+/// h(P || i || s): the solution-check hash of the scheme. `i` is the 1-based
+/// solution index, encoded in one byte as in our wire format.
+crypto::Sha256Digest solution_check_hash(const Bytes& preimage,
+                                         std::uint8_t index,
+                                         const Bytes& candidate) {
+  crypto::Sha256 h;
+  h.update(preimage);
+  const std::uint8_t idx[1] = {index};
+  h.update(std::span<const std::uint8_t>(idx, 1));
+  h.update(candidate);
+  return h.finalize();
+}
+
+/// The scheme compares the first m bits of h(P||i||s) with the first m bits
+/// of P. P is `sol_len` bytes; m is guaranteed < 8*sol_len by construction.
+bool prefix_matches(const Bytes& preimage, const crypto::Sha256Digest& digest,
+                    unsigned m_bits) {
+  crypto::Sha256Digest p{};
+  const std::size_t n = std::min(preimage.size(), p.size());
+  std::copy(preimage.begin(), preimage.begin() + static_cast<long>(n), p.begin());
+  return crypto::prefix_bits_equal(p, digest, m_bits);
+}
+
+/// Timestamp freshness shared by both engines.
+VerifyError check_freshness(std::uint32_t echoed_ms, std::uint32_t now_ms,
+                            const EngineConfig& cfg) {
+  if (echoed_ms > now_ms + cfg.future_slack_ms) {
+    return VerifyError::kFutureTimestamp;
+  }
+  if (echoed_ms + cfg.expiry_ms < now_ms) return VerifyError::kExpired;
+  return VerifyError::kNone;
+}
+
+void validate_difficulty(Difficulty diff, const EngineConfig& cfg) {
+  if (diff.k == 0) throw std::invalid_argument("puzzle: k must be >= 1");
+  if (diff.m == 0) throw std::invalid_argument("puzzle: m must be >= 1");
+  if (diff.m >= cfg.sol_len * 8u) {
+    throw std::invalid_argument(
+        "puzzle: m must be < 8*sol_len (the m-bit prefix lives in the "
+        "sol_len-byte pre-image)");
+  }
+}
+
+}  // namespace
+
+std::uint64_t sample_solve_hashes(Difficulty diff, Rng& rng) {
+  // The paper's cost model (§4.1): one solution takes "a maximum of 2^m and
+  // an average of 2^(m-1)" hash operations, i.e. the solution is uniformly
+  // located in a search space of 2^m candidates. (An unbounded random search
+  // is geometric with mean 2^m — see the Sha256 engine tests; we follow the
+  // paper's model so ℓ(p) = k·2^(m-1) prices the simulated work exactly.)
+  const std::uint64_t space = 1ull << diff.m;
+  std::uint64_t total = 0;
+  for (unsigned i = 0; i < diff.k; ++i) total += 1 + rng.uniform_u64(space);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Sha256PuzzleEngine
+// ---------------------------------------------------------------------------
+
+Sha256PuzzleEngine::Sha256PuzzleEngine(crypto::SecretKey secret,
+                                       EngineConfig cfg)
+    : secret_(secret), cfg_(cfg) {
+  if (cfg_.sol_len == 0 || cfg_.sol_len > 32) {
+    throw std::invalid_argument("puzzle: sol_len must be in [1, 32]");
+  }
+}
+
+Bytes Sha256PuzzleEngine::derive_preimage(const FlowBinding& flow,
+                                          std::uint32_t timestamp_ms) const {
+  const auto digest =
+      crypto::hmac_sha256(secret_.bytes(), preimage_message(flow, timestamp_ms));
+  return Bytes(digest.begin(), digest.begin() + cfg_.sol_len);
+}
+
+Challenge Sha256PuzzleEngine::make_challenge(const FlowBinding& flow,
+                                             std::uint32_t timestamp_ms,
+                                             Difficulty diff) const {
+  validate_difficulty(diff, cfg_);
+  Challenge c;
+  c.diff = diff;
+  c.sol_len = cfg_.sol_len;
+  c.timestamp = timestamp_ms;
+  c.preimage = derive_preimage(flow, timestamp_ms);
+  return c;
+}
+
+bool Sha256PuzzleEngine::candidate_matches(const Challenge& challenge,
+                                           std::uint8_t index,
+                                           const Bytes& candidate) {
+  return prefix_matches(challenge.preimage,
+                        solution_check_hash(challenge.preimage, index, candidate),
+                        challenge.diff.m);
+}
+
+Solution Sha256PuzzleEngine::solve(const Challenge& challenge,
+                                   const FlowBinding& /*flow*/, Rng& rng,
+                                   std::uint64_t& hash_ops_out) const {
+  Solution sol;
+  sol.timestamp = challenge.timestamp;
+  sol.values.reserve(challenge.diff.k);
+  hash_ops_out = 0;
+
+  for (unsigned i = 1; i <= challenge.diff.k; ++i) {
+    // Start the counter at a random point so repeated solves of equivalent
+    // puzzles do not share a search prefix (and so the hash-op count is a
+    // true geometric sample, as the analysis assumes).
+    std::uint64_t counter = rng.next();
+    Bytes candidate(challenge.sol_len, 0);
+    for (;;) {
+      // Candidate = counter in big-endian, repeated/truncated to sol_len.
+      for (std::size_t b = 0; b < candidate.size(); ++b) {
+        candidate[b] =
+            static_cast<std::uint8_t>(counter >> (8 * ((candidate.size() - 1 - b) % 8)));
+      }
+      ++hash_ops_out;
+      if (prefix_matches(
+              challenge.preimage,
+              solution_check_hash(challenge.preimage,
+                                  static_cast<std::uint8_t>(i), candidate),
+              challenge.diff.m)) {
+        sol.values.push_back(candidate);
+        break;
+      }
+      ++counter;
+    }
+  }
+  return sol;
+}
+
+VerifyOutcome Sha256PuzzleEngine::verify(const FlowBinding& flow,
+                                         const Solution& solution,
+                                         Difficulty diff,
+                                         std::uint32_t now_ms) const {
+  VerifyOutcome out;
+  if (const VerifyError fresh = check_freshness(solution.timestamp, now_ms, cfg_);
+      fresh != VerifyError::kNone) {
+    out.error = fresh;
+    return out;
+  }
+  if (solution.values.size() != diff.k) {
+    out.error = VerifyError::kWrongCount;
+    return out;
+  }
+  for (const auto& v : solution.values) {
+    if (v.size() != cfg_.sol_len) {
+      out.error = VerifyError::kWrongLength;
+      return out;
+    }
+  }
+
+  // One hash to re-derive the pre-image (statelessness: nothing was stored).
+  const Bytes preimage = derive_preimage(flow, solution.timestamp);
+  out.hash_ops = 1;
+
+  for (unsigned i = 1; i <= diff.k; ++i) {
+    ++out.hash_ops;
+    if (!prefix_matches(preimage,
+                        solution_check_hash(preimage, static_cast<std::uint8_t>(i),
+                                            solution.values[i - 1]),
+                        diff.m)) {
+      out.error = VerifyError::kBadSolution;
+      return out;
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// OraclePuzzleEngine
+// ---------------------------------------------------------------------------
+
+OraclePuzzleEngine::OraclePuzzleEngine(crypto::SecretKey secret,
+                                       EngineConfig cfg)
+    : secret_(secret), cfg_(cfg) {
+  if (cfg_.sol_len == 0 || cfg_.sol_len > 32) {
+    throw std::invalid_argument("puzzle: sol_len must be in [1, 32]");
+  }
+}
+
+Bytes OraclePuzzleEngine::derive_preimage(const FlowBinding& flow,
+                                          std::uint32_t timestamp_ms) const {
+  const auto digest =
+      crypto::hmac_sha256(secret_.bytes(), preimage_message(flow, timestamp_ms));
+  return Bytes(digest.begin(), digest.begin() + cfg_.sol_len);
+}
+
+Bytes OraclePuzzleEngine::oracle_solution(const Bytes& preimage,
+                                          std::uint8_t index) const {
+  Bytes msg;
+  msg.reserve(kOracleLabel.size() + preimage.size() + 1);
+  msg.insert(msg.end(), kOracleLabel.begin(), kOracleLabel.end());
+  msg.insert(msg.end(), preimage.begin(), preimage.end());
+  msg.push_back(index);
+  const auto digest = crypto::hmac_sha256(secret_.bytes(), msg);
+  return Bytes(digest.begin(), digest.begin() + cfg_.sol_len);
+}
+
+Challenge OraclePuzzleEngine::make_challenge(const FlowBinding& flow,
+                                             std::uint32_t timestamp_ms,
+                                             Difficulty diff) const {
+  validate_difficulty(diff, cfg_);
+  Challenge c;
+  c.diff = diff;
+  c.sol_len = cfg_.sol_len;
+  c.timestamp = timestamp_ms;
+  c.preimage = derive_preimage(flow, timestamp_ms);
+  return c;
+}
+
+Solution OraclePuzzleEngine::solve(const Challenge& challenge,
+                                   const FlowBinding& /*flow*/, Rng& rng,
+                                   std::uint64_t& hash_ops_out) const {
+  Solution sol;
+  sol.timestamp = challenge.timestamp;
+  sol.values.reserve(challenge.diff.k);
+  for (unsigned i = 1; i <= challenge.diff.k; ++i) {
+    sol.values.push_back(
+        oracle_solution(challenge.preimage, static_cast<std::uint8_t>(i)));
+  }
+  hash_ops_out = sample_solve_hashes(challenge.diff, rng);
+  return sol;
+}
+
+VerifyOutcome OraclePuzzleEngine::verify(const FlowBinding& flow,
+                                         const Solution& solution,
+                                         Difficulty diff,
+                                         std::uint32_t now_ms) const {
+  VerifyOutcome out;
+  if (const VerifyError fresh = check_freshness(solution.timestamp, now_ms, cfg_);
+      fresh != VerifyError::kNone) {
+    out.error = fresh;
+    return out;
+  }
+  if (solution.values.size() != diff.k) {
+    out.error = VerifyError::kWrongCount;
+    return out;
+  }
+  const Bytes preimage = derive_preimage(flow, solution.timestamp);
+  // Cost model mirrors the paper's d(p) = 1 + k/2: one pre-image derivation
+  // plus prefix checks. We charge the full-verify cost 1 + k on success and
+  // the early-exit position on failure, same as the real engine.
+  out.hash_ops = 1;
+  for (unsigned i = 1; i <= diff.k; ++i) {
+    ++out.hash_ops;
+    const Bytes expected =
+        oracle_solution(preimage, static_cast<std::uint8_t>(i));
+    const Bytes& got = solution.values[i - 1];
+    if (got.size() != preimage.size() ||
+        !ct_equal(std::span<const std::uint8_t>(got),
+                  std::span<const std::uint8_t>(expected))) {
+      out.error = got.size() == preimage.size() ? VerifyError::kBadSolution
+                                                : VerifyError::kWrongLength;
+      return out;
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace tcpz::puzzle

@@ -1,0 +1,26 @@
+#include "puzzle/types.hpp"
+
+#include <cstdio>
+
+namespace tcpz::puzzle {
+
+std::string Difficulty::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "(k=%u, m=%u)", static_cast<unsigned>(k),
+                static_cast<unsigned>(m));
+  return buf;
+}
+
+const char* to_string(VerifyError e) {
+  switch (e) {
+    case VerifyError::kNone: return "none";
+    case VerifyError::kExpired: return "expired";
+    case VerifyError::kFutureTimestamp: return "future-timestamp";
+    case VerifyError::kWrongCount: return "wrong-count";
+    case VerifyError::kWrongLength: return "wrong-length";
+    case VerifyError::kBadSolution: return "bad-solution";
+  }
+  return "unknown";
+}
+
+}  // namespace tcpz::puzzle

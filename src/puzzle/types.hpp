@@ -1,0 +1,97 @@
+// Core value types of the Juels–Brainard client-puzzle scheme as used by the
+// paper (§4): a challenge is the first l bits of y = h(secret, T, packet
+// data); a solution is k bitstrings s_i such that the first m bits of
+// h(P || i || s_i) equal the first m bits of P.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace tcpz::puzzle {
+
+/// Puzzle difficulty (k, m): k solutions of m bits each.
+/// Expected client work is k * 2^(m-1) hash operations (§4.1).
+struct Difficulty {
+  std::uint8_t k = 1;  ///< number of solutions requested
+  std::uint8_t m = 16; ///< bits of difficulty per solution
+
+  /// ℓ(p): expected hash operations to solve by brute force.
+  [[nodiscard]] double expected_solve_hashes() const {
+    return static_cast<double>(k) * std::exp2(static_cast<double>(m) - 1.0);
+  }
+  /// d(p): expected server hash operations to verify (1 pre-image + k/2).
+  [[nodiscard]] double expected_verify_hashes() const {
+    return 1.0 + static_cast<double>(k) / 2.0;
+  }
+  /// g(p): hash operations to generate a challenge.
+  [[nodiscard]] static double generate_hashes() { return 1.0; }
+  /// Probability that an adversary guesses a full solution blindly: 2^-(k*m).
+  [[nodiscard]] double guess_probability() const {
+    return std::exp2(-static_cast<double>(k) * static_cast<double>(m));
+  }
+  /// Guessing resistance in bits (k*m).
+  [[nodiscard]] unsigned guess_bits() const {
+    return static_cast<unsigned>(k) * static_cast<unsigned>(m);
+  }
+
+  bool operator==(const Difficulty&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The TCP 4-tuple plus ISN that binds a puzzle to one connection attempt.
+struct FlowBinding {
+  std::uint32_t saddr = 0;
+  std::uint32_t daddr = 0;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint32_t isn = 0;  ///< client's initial sequence number
+
+  bool operator==(const FlowBinding&) const = default;
+};
+
+/// A challenge as issued by the server. `preimage` is the first
+/// `sol_len` bytes of the keyed hash; `timestamp` is the server clock value
+/// (milliseconds) folded into the pre-image, echoed back by the client so the
+/// server can re-derive the challenge statelessly and enforce expiry.
+struct Challenge {
+  Difficulty diff;
+  std::uint8_t sol_len = 8;  ///< l: bytes per solution and pre-image
+  std::uint32_t timestamp = 0;
+  Bytes preimage;
+
+  bool operator==(const Challenge&) const = default;
+};
+
+/// A solution as produced by the client: k values of sol_len bytes, plus the
+/// echoed timestamp.
+struct Solution {
+  std::vector<Bytes> values;
+  std::uint32_t timestamp = 0;
+
+  bool operator==(const Solution&) const = default;
+};
+
+enum class VerifyError {
+  kNone,
+  kExpired,         ///< echoed timestamp too old (replay window exceeded)
+  kFutureTimestamp, ///< echoed timestamp ahead of server clock
+  kWrongCount,      ///< number of solutions != k
+  kWrongLength,     ///< some solution is not sol_len bytes
+  kBadSolution,     ///< an m-bit prefix check failed
+};
+
+[[nodiscard]] const char* to_string(VerifyError e);
+
+/// Result of a verification, with the number of hash operations the server
+/// spent (charged to the server CPU model by the simulator).
+struct VerifyOutcome {
+  bool ok = false;
+  VerifyError error = VerifyError::kNone;
+  std::uint64_t hash_ops = 0;
+};
+
+}  // namespace tcpz::puzzle

@@ -1,0 +1,62 @@
+// UDP loopback transport: runs the sans-I/O TCP state machines between real
+// processes (or threads) by carrying encoded segments in UDP datagrams.
+//
+// The paper's artifact was a kernel patch; on a laptop without raw-socket
+// privileges, UDP encapsulation over 127.0.0.1 is the closest runnable
+// equivalent: real sockets, real scheduling, the full wire format of
+// tcp/wire.hpp (TCP header + options + checksum) on every datagram. The
+// endpoint map translates the model's IPv4 addresses to UDP ports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "tcp/segment.hpp"
+#include "tcp/wire.hpp"
+
+namespace tcpz::shim {
+
+struct TransportStats {
+  std::uint64_t tx_datagrams = 0;
+  std::uint64_t rx_datagrams = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t unroutable = 0;
+};
+
+/// One endpoint: a bound UDP socket plus a model-address -> UDP-port map.
+/// Not thread-safe; use one per thread.
+class UdpTransport {
+ public:
+  /// Binds 127.0.0.1:port (port 0 picks an ephemeral one). Throws
+  /// std::runtime_error on socket errors.
+  explicit UdpTransport(std::uint16_t port);
+  ~UdpTransport();
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  [[nodiscard]] std::uint16_t bound_port() const { return bound_port_; }
+
+  /// Maps a model IPv4 address (as used in Segment saddr/daddr) to the UDP
+  /// port of the process simulating that host.
+  void add_route(std::uint32_t model_addr, std::uint16_t udp_port);
+
+  /// Encodes and sends the segment toward its daddr's registered port.
+  /// Returns false (and counts unroutable) when no route exists.
+  bool send(const tcp::Segment& seg);
+
+  /// Blocks up to timeout_ms for one datagram; returns the decoded segment,
+  /// or nullopt on timeout/decode failure (failures are counted).
+  [[nodiscard]] std::optional<tcp::Segment> recv(int timeout_ms);
+
+  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::unordered_map<std::uint32_t, std::uint16_t> routes_;
+  TransportStats stats_;
+};
+
+}  // namespace tcpz::shim

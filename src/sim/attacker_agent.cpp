@@ -1,0 +1,247 @@
+#include "sim/attacker_agent.hpp"
+
+namespace tcpz::sim {
+
+const char* to_string(AttackType t) {
+  switch (t) {
+    case AttackType::kSynFlood: return "syn-flood";
+    case AttackType::kConnFlood: return "conn-flood";
+    case AttackType::kBogusSolutionFlood: return "bogus-solution-flood";
+  }
+  return "unknown";
+}
+
+AttackerAgent::AttackerAgent(net::Simulator& sim, net::Host& host,
+                             AttackerAgentConfig cfg, std::uint64_t seed)
+    : sim_(sim), host_(host), cfg_(std::move(cfg)), cpu_(cfg_.cpu), rng_(seed) {}
+
+void AttackerAgent::start(SimTime until) {
+  until_ = until;
+  host_.set_handler([this](SimTime now, const tcp::Segment& seg) {
+    on_segment(now, seg);
+  });
+  sim_.schedule_at(cfg_.attack_start, [this] { flood_loop(); });
+  sim_.schedule_at(cfg_.attack_start, [this] { tick_loop(); });
+  sample_loop();
+}
+
+void AttackerAgent::send_all(const std::vector<tcp::Segment>& segs) {
+  for (const tcp::Segment& seg : segs) {
+    report_.tx_bytes.add(sim_.now(), seg.wire_size());
+    cpu_.charge_seconds(cfg_.per_packet_cpu_sec);
+    host_.send(seg);
+  }
+}
+
+void AttackerAgent::flood_loop() {
+  const SimTime now = sim_.now();
+  if (now >= cfg_.attack_end || now >= until_) return;
+  // Constant-rate emission (hping3/nping "--rate" behaviour).
+  sim_.schedule_in(SimTime::from_seconds(1.0 / cfg_.rate), [this] {
+    const SimTime now2 = sim_.now();
+    if (now2 < cfg_.attack_end && now2 < until_) {
+      if (cfg_.type == AttackType::kSynFlood) {
+        send_spoofed_syn(now2);
+      } else {
+        launch_attempt(now2);
+      }
+    }
+    flood_loop();
+  });
+}
+
+void AttackerAgent::send_spoofed_syn(SimTime now) {
+  tcp::Segment syn;
+  // Random routable-looking but unowned source (100.64/10 space).
+  syn.saddr = tcp::ipv4(100, 64, 0, 0) |
+              static_cast<std::uint32_t>(rng_.uniform_u64(1u << 22));
+  syn.sport = static_cast<std::uint16_t>(1024 + rng_.uniform_u64(60000));
+  syn.daddr = cfg_.server_addr;
+  syn.dport = cfg_.server_port;
+  syn.seq = static_cast<std::uint32_t>(rng_.next());
+  syn.flags = tcp::kSyn;
+  syn.options.mss = 1460;
+  report_.attempts.add(now, 1.0);
+  ++report_.total_attempts;
+  send_all({syn});
+}
+
+void AttackerAgent::launch_attempt(SimTime now) {
+  if (static_cast<int>(attempts_.size()) >= cfg_.max_inflight) return;
+  std::uint16_t sport = 0;
+  for (int tries = 0; tries < 64; ++tries) {
+    std::uint16_t cand = next_sport_++;
+    if (next_sport_ < 1024) next_sport_ = 1024;
+    if (cand >= 1024 && !attempts_.contains(cand)) {
+      sport = cand;
+      break;
+    }
+  }
+  if (sport == 0) return;
+
+  tcp::ConnectorConfig ccfg;
+  ccfg.local_addr = host_.addr();
+  ccfg.local_port = sport;
+  ccfg.remote_addr = cfg_.server_addr;
+  ccfg.remote_port = cfg_.server_port;
+  // A bogus-solution flooder looks like a legacy stack to the Connector; we
+  // intercept the challenge ourselves in on_segment.
+  ccfg.solve_puzzles =
+      cfg_.type == AttackType::kConnFlood && cfg_.solve_puzzles;
+  ccfg.max_syn_retries = 0;  // flood tools do not retransmit
+
+  auto [it, inserted] = attempts_.emplace(
+      sport, Attempt{tcp::Connector(ccfg, rng_.next()), now, 0});
+  report_.attempts.add(now, 1.0);
+  ++report_.total_attempts;
+  apply(now, sport, it->second.connector.start(now));
+}
+
+tcp::Segment AttackerAgent::make_bogus_solution_ack(SimTime now,
+                                                    const tcp::Segment& synack) {
+  const tcp::ChallengeOption& ch = *synack.options.challenge;
+  tcp::Segment ack;
+  ack.saddr = synack.daddr;
+  ack.daddr = synack.saddr;
+  ack.sport = synack.dport;
+  ack.dport = synack.sport;
+  ack.seq = synack.ack;
+  ack.ack = synack.seq + 1;
+  ack.flags = tcp::kAck;
+  const std::uint32_t now_ms =
+      static_cast<std::uint32_t>(now.nanos() / 1'000'000);
+  if (synack.options.ts) {
+    ack.options.ts = tcp::TimestampsOption{now_ms, synack.options.ts->tsval};
+  }
+  tcp::SolutionOption sol;
+  sol.mss = 1460;
+  sol.wscale = 7;
+  if (!synack.options.ts) {
+    sol.embedded_ts = ch.embedded_ts.value_or(now_ms);
+  }
+  // Garbage of the right shape: the server must do verification work to
+  // reject it.
+  sol.solutions.resize(static_cast<std::size_t>(ch.k) * ch.sol_len);
+  for (auto& b : sol.solutions) {
+    b = static_cast<std::uint8_t>(rng_.next());
+  }
+  ack.options.solution = std::move(sol);
+  return ack;
+}
+
+void AttackerAgent::apply(SimTime now, std::uint16_t sport,
+                          tcp::ConnectorOutput out) {
+  send_all(out.segments);
+
+  const auto it = attempts_.find(sport);
+  if (it == attempts_.end()) return;
+  Attempt& attempt = it->second;
+
+  if (out.solve) {
+    ++report_.challenges_seen;
+    // The in-kernel solver is serial; the flood tool abandons an attempt
+    // (closing its socket and thereby aborting any queued solve) after
+    // attempt_timeout. A solve is therefore only worth starting if a lane
+    // frees up before the tool gives up — this is what pins the per-bot
+    // completion rate to its solver throughput regardless of the flood rate
+    // (Figs. 13-14).
+    if (!cfg_.engine ||
+        cpu_.earliest_lane_free() > now + cfg_.attempt_timeout) {
+      ++report_.solves_refused;
+      // The attempt keeps holding its in-flight slot until the tool times
+      // it out (tick_loop), throttling the measured attack rate.
+      return;
+    }
+    std::uint64_t hash_ops = 0;
+    const puzzle::Solution solution = cfg_.engine->solve(
+        *out.solve, attempt.connector.flow_binding(), rng_, hash_ops);
+    const double rate =
+        cfg_.solve_ops_rate > 0 ? cfg_.solve_ops_rate : cfg_.cpu.hash_rate;
+    const SimTime done = cpu_.submit_solve_at_rate(now, hash_ops, rate);
+    ++pending_solves_;
+    const std::uint64_t token = next_solve_token_++;
+    attempt.solve_token = token;
+    sim_.schedule_at(done, [this, sport, token, solution] {
+      --pending_solves_;
+      const auto it2 = attempts_.find(sport);
+      if (it2 == attempts_.end() || it2->second.solve_token != token) return;
+      const SimTime t = sim_.now();
+      apply(t, sport, it2->second.connector.on_solved(t, solution));
+    });
+    return;
+  }
+
+  if (out.established) {
+    // Connection floods hold the connection and send nothing further; the
+    // in-flight slot is recycled immediately.
+    report_.established.add(now, 1.0);
+    ++report_.total_established;
+    attempts_.erase(sport);
+    return;
+  }
+
+  if (out.failed) {
+    if (out.reason == tcp::ConnectFail::kReset) ++report_.total_rsts;
+    report_.failures.add(now, 1.0);
+    ++report_.total_failures;
+    attempts_.erase(sport);
+  }
+}
+
+void AttackerAgent::on_segment(SimTime now, const tcp::Segment& seg) {
+  report_.rx_bytes.add(now, seg.wire_size());
+  cpu_.charge_seconds(cfg_.per_packet_cpu_sec);
+  if (cfg_.type == AttackType::kSynFlood) return;  // backscatter is ignored
+
+  const auto it = attempts_.find(seg.dport);
+  if (it == attempts_.end()) return;
+
+  if (cfg_.type == AttackType::kBogusSolutionFlood && seg.is_syn_ack() &&
+      seg.options.challenge) {
+    ++report_.challenges_seen;
+    send_all({make_bogus_solution_ack(now, seg)});
+    report_.established.add(now, 1.0);  // it *believes* it connected
+    ++report_.total_established;
+    attempts_.erase(seg.dport);
+    return;
+  }
+
+  apply(now, seg.dport, it->second.connector.on_segment(now, seg));
+}
+
+void AttackerAgent::tick_loop() {
+  const SimTime now = sim_.now();
+  if (now >= until_) return;
+  sim_.schedule_in(cfg_.tick_interval, [this] {
+    const SimTime t = sim_.now();
+    // Recycle in-flight slots whose attempt went nowhere. Attempts with an
+    // admitted solve in progress get a grace period (the kernel finishes a
+    // running search even when the tool has lost interest).
+    std::vector<std::uint16_t> stale;
+    for (const auto& [sport, attempt] : attempts_) {
+      const bool solving =
+          attempt.connector.state() == tcp::ConnectorState::kSolving &&
+          attempt.solve_token != 0;
+      const SimTime limit =
+          solving ? cfg_.attempt_timeout * 3 : cfg_.attempt_timeout;
+      if (t - attempt.started > limit) stale.push_back(sport);
+    }
+    for (const std::uint16_t sport : stale) {
+      report_.failures.add(t, 1.0);
+      ++report_.total_failures;
+      attempts_.erase(sport);
+    }
+    if (t < cfg_.attack_end) tick_loop();
+  });
+}
+
+void AttackerAgent::sample_loop() {
+  if (sim_.now() >= until_) return;
+  sim_.schedule_in(cfg_.sample_interval, [this] {
+    const SimTime now = sim_.now();
+    report_.cpu.record(now, cpu_.sample_utilization(now, cfg_.sample_interval));
+    sample_loop();
+  });
+}
+
+}  // namespace tcpz::sim

@@ -1,0 +1,109 @@
+// Botnet members. Three attack behaviours from the paper's evaluation plus
+// the solution-flood of §7:
+//
+//  * SYN flood (hping3-style): SYNs from spoofed random sources at a
+//    constant rate; never completes a handshake.
+//  * Connection flood (nping-style): real source address, completes the
+//    three-way handshake. With a patched kernel the bot transparently solves
+//    challenges (serially, through its CPU model); an unpatched bot answers
+//    with a plain ACK and believes it connected. A bounded number of
+//    in-flight attempts models the attack tool's finite concurrency.
+//  * Bogus-solution flood: completes the exchange but answers challenges
+//    with garbage bytes instantly, forcing the server to spend verification
+//    work (§7 "solution floods").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "net/node.hpp"
+#include "net/simulator.hpp"
+#include "puzzle/engine.hpp"
+#include "sim/cpu.hpp"
+#include "sim/metrics.hpp"
+#include "tcp/connector.hpp"
+#include "util/rng.hpp"
+
+namespace tcpz::sim {
+
+enum class AttackType : std::uint8_t {
+  kSynFlood,
+  kConnFlood,
+  kBogusSolutionFlood,
+};
+
+[[nodiscard]] const char* to_string(AttackType t);
+
+struct AttackerAgentConfig {
+  std::uint32_t server_addr = 0;
+  std::uint16_t server_port = 80;
+  AttackType type = AttackType::kConnFlood;
+  double rate = 500.0;  ///< packets (connection attempts) per second
+  SimTime attack_start = SimTime::seconds(120);
+  SimTime attack_end = SimTime::seconds(480);
+  /// Patched kernel? Patched bots solve challenges; unpatched send plain ACKs.
+  bool solve_puzzles = true;
+  std::shared_ptr<const puzzle::PuzzleEngine> engine;
+  /// Commodity zombie: equal-or-better hash rate than clients (§6), fewer
+  /// spare cores.
+  CpuSpec cpu{351'575.0, 2, 1};
+  /// Work-unit rate for solving (0 = cpu.hash_rate); see ClientAgentConfig.
+  double solve_ops_rate = 0.0;
+  int max_pending_solves = 6;
+  /// Finite tool concurrency: new attempts are skipped while this many are
+  /// in flight (this is what caps the "measured attack rate" of Figs 13–14).
+  int max_inflight = 250;
+  SimTime attempt_timeout = SimTime::seconds(1);
+  /// Userspace raw-packet crafting on commodity zombie hardware is far more
+  /// expensive than kernel fast-path processing; at 500 pps this puts a bot
+  /// around the 50-60% CPU the paper's Fig. 9 shows for attackers.
+  double per_packet_cpu_sec = 0.7e-3;
+  SimTime tick_interval = SimTime::milliseconds(100);
+  SimTime sample_interval = SimTime::milliseconds(250);
+};
+
+class AttackerAgent {
+ public:
+  AttackerAgent(net::Simulator& sim, net::Host& host, AttackerAgentConfig cfg,
+                std::uint64_t seed);
+
+  void start(SimTime until);
+
+  [[nodiscard]] HostReport& report() { return report_; }
+  [[nodiscard]] const HostReport& report() const { return report_; }
+  [[nodiscard]] CpuModel& cpu() { return cpu_; }
+
+ private:
+  struct Attempt {
+    tcp::Connector connector;
+    SimTime started;
+    std::uint64_t solve_token = 0;
+  };
+
+  void on_segment(SimTime now, const tcp::Segment& seg);
+  void flood_loop();
+  void tick_loop();
+  void sample_loop();
+  void launch_attempt(SimTime now);
+  void send_spoofed_syn(SimTime now);
+  void apply(SimTime now, std::uint16_t sport, tcp::ConnectorOutput out);
+  void send_all(const std::vector<tcp::Segment>& segs);
+  [[nodiscard]] tcp::Segment make_bogus_solution_ack(SimTime now,
+                                                     const tcp::Segment& synack);
+
+  net::Simulator& sim_;
+  net::Host& host_;
+  AttackerAgentConfig cfg_;
+  CpuModel cpu_;
+  Rng rng_;
+  HostReport report_;
+  SimTime until_;
+
+  std::unordered_map<std::uint16_t, Attempt> attempts_;
+  std::uint16_t next_sport_ = 1024;
+  int pending_solves_ = 0;
+  std::uint64_t next_solve_token_ = 1;
+};
+
+}  // namespace tcpz::sim

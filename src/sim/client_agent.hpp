@@ -1,0 +1,94 @@
+// A legitimate client: an open-loop request generator (Poisson arrivals at
+// rate r_c, as in §6's workload) where each request opens a fresh TCP
+// connection, sends a gettext request and waits for the response. Solving is
+// serial through the CPU model's solver lanes — the in-kernel search of the
+// patch — and attempts beyond the solver backlog cap fail immediately
+// (connect() backpressure).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include <memory>
+
+#include "net/node.hpp"
+#include "net/simulator.hpp"
+#include "puzzle/engine.hpp"
+#include "sim/cpu.hpp"
+#include "sim/metrics.hpp"
+#include "tcp/connector.hpp"
+#include "util/rng.hpp"
+
+namespace tcpz::sim {
+
+struct ClientAgentConfig {
+  std::uint32_t server_addr = 0;
+  std::uint16_t server_port = 80;
+  double request_rate = 20.0;  ///< requests per second (Poisson)
+  std::uint32_t request_bytes = 200;
+  std::uint32_t response_bytes = 100'000;
+  bool solve_puzzles = true;  ///< patched kernel?
+  double max_price_hashes = std::numeric_limits<double>::infinity();
+  /// Shared puzzle engine (the oracle in simulations); required when the
+  /// client is patched and the server may challenge it.
+  std::shared_ptr<const puzzle::PuzzleEngine> engine;
+  CpuSpec cpu{351'575.0, 4, 1};
+  /// Work-unit rate for solving (0 = cpu.hash_rate). Memory-bound puzzles
+  /// pass cpu.mem_rate here.
+  double solve_ops_rate = 0.0;
+  int max_pending_solves = 4;
+  SimTime response_timeout = SimTime::seconds(10);
+  SimTime syn_timeout = SimTime::seconds(1);
+  int max_syn_retries = 3;
+  SimTime tick_interval = SimTime::milliseconds(100);
+  SimTime sample_interval = SimTime::milliseconds(250);
+  SimTime start_at = SimTime::zero();
+};
+
+class ClientAgent {
+ public:
+  ClientAgent(net::Simulator& sim, net::Host& host, ClientAgentConfig cfg,
+              std::uint64_t seed);
+
+  void start(SimTime until);
+
+  [[nodiscard]] HostReport& report() { return report_; }
+  [[nodiscard]] const HostReport& report() const { return report_; }
+  [[nodiscard]] CpuModel& cpu() { return cpu_; }
+
+ private:
+  struct Attempt {
+    tcp::Connector connector;
+    SimTime started;
+    SimTime deadline;
+    bool request_sent = false;
+    std::uint64_t rx_payload = 0;
+    std::uint64_t solve_token = 0;  ///< guards stale solve completions
+  };
+
+  void on_segment(SimTime now, const tcp::Segment& seg);
+  void request_loop();
+  void tick_loop();
+  void sample_loop();
+  void start_attempt(SimTime now);
+  void apply(SimTime now, std::uint16_t sport, Attempt& attempt,
+             tcp::ConnectorOutput out);
+  void finish_attempt(SimTime now, std::uint16_t sport, bool success);
+  void send_all(const std::vector<tcp::Segment>& segs);
+
+  net::Simulator& sim_;
+  net::Host& host_;
+  ClientAgentConfig cfg_;
+  CpuModel cpu_;
+  Rng rng_;
+  HostReport report_;
+  SimTime until_;
+
+  std::unordered_map<std::uint16_t, Attempt> attempts_;
+  std::uint16_t next_sport_ = 1024;
+  int pending_solves_ = 0;
+  std::uint64_t next_solve_token_ = 1;
+};
+
+}  // namespace tcpz::sim

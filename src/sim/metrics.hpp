@@ -1,0 +1,71 @@
+// Metric containers filled by the agents during a scenario run. Everything
+// the paper's Figures 6-15 plot comes out of these.
+#pragma once
+
+#include <cstdint>
+
+#include "tcp/listener.hpp"
+#include "util/stats.hpp"
+#include "util/timeseries.hpp"
+
+namespace tcpz::sim {
+
+/// Per-host (client or attacker) measurements.
+struct HostReport {
+  TimeSeries rx_bytes{SimTime::seconds(1)};
+  TimeSeries tx_bytes{SimTime::seconds(1)};
+  TimeSeries attempts{SimTime::seconds(1)};     ///< connection attempts started
+  TimeSeries established{SimTime::seconds(1)};  ///< handshakes completed (our view)
+  TimeSeries completions{SimTime::seconds(1)};  ///< full request/response cycles
+  TimeSeries failures{SimTime::seconds(1)};
+  /// Attempts abandoned before reaching the wire because the local solver
+  /// was backlogged (connect() backpressure) — excluded from the paper's
+  /// "% of connections established" denominator.
+  TimeSeries refusals{SimTime::seconds(1)};
+  SampleSet conn_time_ms;  ///< SYN sent -> established (includes solve time)
+  GaugeSeries cpu;
+
+  std::uint64_t total_attempts = 0;
+  std::uint64_t total_established = 0;
+  std::uint64_t total_completions = 0;
+  std::uint64_t total_failures = 0;
+  std::uint64_t total_rsts = 0;
+  std::uint64_t challenges_seen = 0;
+  std::uint64_t solves_refused = 0;  ///< backlogged solver or price refusal
+
+  /// Mean goodput in Mbps over bins [from, to).
+  [[nodiscard]] double rx_mbps(std::size_t from, std::size_t to) const {
+    return rx_bytes.mean_rate(from, to) * 8.0 / 1e6;
+  }
+};
+
+/// Server-side measurements.
+struct ServerReport {
+  TimeSeries rx_bytes{SimTime::seconds(1)};
+  TimeSeries tx_bytes{SimTime::seconds(1)};
+  GaugeSeries listen_queue;
+  GaugeSeries accept_queue;
+  GaugeSeries cpu;
+  TimeSeries challenge_synacks{SimTime::seconds(1)};  ///< Fig. 8 sparkline
+  TimeSeries plain_synacks{SimTime::seconds(1)};
+  /// Established-connection events split by source class (the simulator
+  /// knows which addresses belong to the botnet).
+  TimeSeries established_client{SimTime::seconds(1)};
+  TimeSeries established_attacker{SimTime::seconds(1)};
+  TimeSeries responses{SimTime::seconds(1)};
+  /// Difficulty bits m over time (constant unless the adaptive controller
+  /// is enabled).
+  GaugeSeries difficulty_m;
+
+  tcp::ListenerCounters counters;  ///< final listener counters
+
+  [[nodiscard]] double tx_mbps(std::size_t from, std::size_t to) const {
+    return tx_bytes.mean_rate(from, to) * 8.0 / 1e6;
+  }
+  /// Mean attacker established-connection rate (Fig. 11) over [from, to).
+  [[nodiscard]] double attacker_cps(std::size_t from, std::size_t to) const {
+    return established_attacker.mean_rate(from, to);
+  }
+};
+
+}  // namespace tcpz::sim

@@ -1,0 +1,113 @@
+#include "sim/report_io.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace tcpz::sim {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File open_or_throw(const std::string& path) {
+  File f(std::fopen(path.c_str(), "w"));
+  if (!f) throw std::runtime_error("write_csv: cannot create " + path);
+  return f;
+}
+
+}  // namespace
+
+std::size_t write_csv(const ScenarioResult& result, const ScenarioConfig& cfg,
+                      const std::string& prefix) {
+  std::size_t files = 0;
+  const std::size_t bins = cfg.duration_bins();
+
+  {
+    File f = open_or_throw(prefix + "_throughput.csv");
+    std::fprintf(f.get(), "t_s,server_tx_mbps");
+    for (std::size_t i = 0; i < result.clients.size(); ++i) {
+      std::fprintf(f.get(), ",client%zu_rx_mbps", i);
+    }
+    std::fprintf(f.get(), "\n");
+    for (std::size_t t = 0; t < bins; ++t) {
+      std::fprintf(f.get(), "%zu,%.4f", t, result.server.tx_mbps(t, t + 1));
+      for (const auto& c : result.clients) {
+        std::fprintf(f.get(), ",%.4f", c.rx_mbps(t, t + 1));
+      }
+      std::fprintf(f.get(), "\n");
+    }
+    ++files;
+  }
+  {
+    File f = open_or_throw(prefix + "_queues.csv");
+    std::fprintf(f.get(), "t_s,listen,accept,server_cpu,difficulty_m\n");
+    for (std::size_t t = 0; t < bins; ++t) {
+      const SimTime a = SimTime::seconds(static_cast<std::int64_t>(t));
+      const SimTime b = a + SimTime::seconds(1);
+      std::fprintf(f.get(), "%zu,%.1f,%.1f,%.4f,%.0f\n", t,
+                   result.server.listen_queue.mean_in(a, b),
+                   result.server.accept_queue.mean_in(a, b),
+                   result.server.cpu.mean_in(a, b),
+                   result.server.difficulty_m.mean_in(a, b));
+    }
+    ++files;
+  }
+  {
+    File f = open_or_throw(prefix + "_attack.csv");
+    std::fprintf(f.get(), "t_s,attacker_cps,client_cps,bot_measured_pps\n");
+    for (std::size_t t = 0; t < bins; ++t) {
+      std::fprintf(f.get(), "%zu,%.2f,%.2f,%.1f\n", t,
+                   result.server.established_attacker.rate_at(t),
+                   result.server.established_client.rate_at(t),
+                   result.bot_measured_rate(t, t + 1));
+    }
+    ++files;
+  }
+  {
+    File f = open_or_throw(prefix + "_conn_times.csv");
+    std::fprintf(f.get(), "conn_time_ms\n");
+    for (const auto& c : result.clients) {
+      for (const double ms : c.conn_time_ms.sorted()) {
+        std::fprintf(f.get(), "%.4f\n", ms);
+      }
+    }
+    ++files;
+  }
+  {
+    File f = open_or_throw(prefix + "_summary.csv");
+    const auto& c = result.server.counters;
+    std::fprintf(f.get(), "key,value\n");
+    const std::pair<const char*, std::uint64_t> rows[] = {
+        {"syns_received", c.syns_received},
+        {"synacks_sent", c.synacks_sent},
+        {"plain_synacks", c.plain_synacks},
+        {"challenges_sent", c.challenges_sent},
+        {"cookies_sent", c.cookies_sent},
+        {"solutions_valid", c.solutions_valid},
+        {"solutions_invalid", c.solutions_invalid},
+        {"solutions_expired", c.solutions_expired},
+        {"solutions_duplicate", c.solutions_duplicate},
+        {"acks_ignored_accept_full", c.acks_ignored_accept_full},
+        {"established_total", c.established_total},
+        {"established_queue", c.established_queue},
+        {"established_cookie", c.established_cookie},
+        {"established_puzzle", c.established_puzzle},
+        {"half_open_expired", c.half_open_expired},
+        {"rsts_sent", c.rsts_sent},
+        {"crypto_hash_ops", c.crypto_hash_ops},
+    };
+    for (const auto& [key, value] : rows) {
+      std::fprintf(f.get(), "%s,%llu\n", key,
+                   static_cast<unsigned long long>(value));
+    }
+    ++files;
+  }
+  return files;
+}
+
+}  // namespace tcpz::sim

@@ -1,0 +1,126 @@
+// End-to-end experiment scenarios: the Fig. 16 DETER topology (three-router
+// backbone, server on a 1 Gbps link, clients and bots on 100 Mbps links),
+// the §6 workload (15 clients at 20 req/s, 10 bots at 500 pps, attack window
+// 120–480 s of a 600 s run), and the metric collection every figure needs.
+//
+// `scaled()` shrinks the timeline (same rates, shorter windows) so the full
+// bench suite runs in minutes; `--full` on the benches restores paper scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <optional>
+
+#include "core/adaptive.hpp"
+#include "puzzle/types.hpp"
+#include "sim/attacker_agent.hpp"
+#include "sim/client_agent.hpp"
+#include "sim/metrics.hpp"
+#include "sim/server_agent.hpp"
+#include "tcp/listener.hpp"
+
+namespace tcpz::sim {
+
+/// Which resource the puzzle burns: CPU hashing (the paper's scheme) or
+/// random memory accesses (§7's Abadi-style alternative — memory latency is
+/// far more uniform across device classes than compute throughput).
+enum class PowKind : std::uint8_t { kCpuBound, kMemoryBound };
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+
+  // Timeline.
+  SimTime duration = SimTime::seconds(600);
+  SimTime attack_start = SimTime::seconds(120);
+  SimTime attack_end = SimTime::seconds(480);
+
+  // Legitimate workload (§6 defaults; response size chosen to reproduce the
+  // ~16 Mbps/client, ~240 Mbps/server nominal throughput of Figs. 7–8).
+  int n_clients = 15;
+  double client_rate = 20.0;
+  std::uint32_t request_bytes = 200;
+  std::uint32_t response_bytes = 100'000;
+  bool clients_solve = true;
+  CpuSpec client_cpu{351'575.0, 4, 1};
+  int client_max_pending_solves = 4;
+  SimTime client_response_timeout = SimTime::seconds(10);
+
+  // Botnet.
+  int n_bots = 10;
+  double bot_rate = 500.0;
+  AttackType attack = AttackType::kConnFlood;
+  bool bots_solve = true;  ///< bots run the patched kernel too (§6)
+  CpuSpec bot_cpu{351'575.0, 2, 1};
+  int bot_max_pending_solves = 6;
+  int bot_max_inflight = 250;
+
+  // Server.
+  tcp::DefenseMode defense = tcp::DefenseMode::kPuzzles;
+  puzzle::Difficulty difficulty{2, 17};  ///< the Nash difficulty of §4.4
+  bool always_challenge = false;         ///< Experiment 1 (Fig. 6)
+  /// Linux-style asymmetry: a large SYN backlog (tcp_max_syn_backlog) and a
+  /// smaller accept backlog (somaxconn/ListenBacklog). The attacker leakage
+  /// per opportunistic opening is one accept backlog, so this ratio sets the
+  /// Fig. 11 rate-limit factor.
+  std::size_t listen_backlog = 4096;
+  std::size_t accept_backlog = 1024;
+  double service_rate = 1100.0;  ///< µ from the Fig. 3b stress test
+  /// Worker pool: connections that never send a request pin a worker until
+  /// app_idle_timeout, so the accept drain under flood is workers/timeout.
+  int n_workers = 1024;
+  CpuSpec server_cpu{10'800'000.0, 12, 1};
+  SimTime app_idle_timeout = SimTime::seconds(5);
+  std::uint32_t puzzle_expiry_ms = 4000;
+  std::uint8_t sol_len = 4;  ///< 32-bit solutions keep k<=4 within 40 B options
+  /// Protection-controller knobs (ablations sweep these).
+  SimTime protection_hold = SimTime::seconds(60);
+  double protection_engage_water = 1.0;
+  /// §7 extensions.
+  std::optional<AdaptiveConfig> adaptive;  ///< closed-loop difficulty control
+  PowKind pow = PowKind::kCpuBound;
+
+  // Network (Fig. 16).
+  double backbone_bps = 1e9;
+  double server_link_bps = 1e9;
+  double host_link_bps = 100e6;
+  SimTime link_delay = SimTime::microseconds(500);
+
+  // Cadences.
+  SimTime tick_interval = SimTime::milliseconds(100);
+  SimTime sample_interval = SimTime::milliseconds(250);
+
+  /// Same rates and shapes on a short timeline: 150 s run, attack 30–110 s.
+  [[nodiscard]] ScenarioConfig scaled() const;
+
+  [[nodiscard]] std::size_t attack_start_bin() const {
+    return static_cast<std::size_t>(attack_start.nanos() / 1'000'000'000);
+  }
+  [[nodiscard]] std::size_t attack_end_bin() const {
+    return static_cast<std::size_t>(attack_end.nanos() / 1'000'000'000);
+  }
+  [[nodiscard]] std::size_t duration_bins() const {
+    return static_cast<std::size_t>(duration.nanos() / 1'000'000'000);
+  }
+};
+
+struct ScenarioResult {
+  ServerReport server;
+  std::vector<HostReport> clients;
+  std::vector<HostReport> bots;
+  std::uint64_t events_processed = 0;
+  double wall_seconds = 0;
+
+  // Aggregates over all clients.
+  [[nodiscard]] double client_rx_mbps(std::size_t from, std::size_t to) const;
+  [[nodiscard]] double mean_client_cpu(SimTime from, SimTime to) const;
+  [[nodiscard]] double mean_bot_cpu(SimTime from, SimTime to) const;
+  [[nodiscard]] double client_success_ratio() const;
+  /// Attacker SYN/attempt rate actually emitted (Figs. 13a/14a).
+  [[nodiscard]] double bot_measured_rate(std::size_t from, std::size_t to) const;
+};
+
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+}  // namespace tcpz::sim

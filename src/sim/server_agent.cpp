@@ -1,0 +1,173 @@
+#include "sim/server_agent.hpp"
+
+namespace tcpz::sim {
+
+ServerAgent::ServerAgent(net::Simulator& sim, net::Host& host,
+                         ServerAgentConfig cfg, crypto::SecretKey secret,
+                         std::uint64_t seed,
+                         std::shared_ptr<const puzzle::PuzzleEngine> engine)
+    : sim_(sim),
+      host_(host),
+      cfg_(std::move(cfg)),
+      listener_(cfg_.listener, secret, seed, std::move(engine)),
+      cpu_(cfg_.cpu),
+      rng_(seed ^ 0x5e77e57ull) {
+  if (cfg_.adaptive) adaptive_.emplace(*cfg_.adaptive);
+  listener_.set_data_handler(
+      [this](SimTime now, const tcp::FlowKey& flow, const tcp::Segment& seg) {
+        on_request(now, flow, seg);
+      });
+  listener_.set_establish_handler(
+      [this](SimTime now, const tcp::AcceptedConnection& conn) {
+        const bool attacker =
+            cfg_.is_attacker && cfg_.is_attacker(conn.flow.raddr);
+        (attacker ? report_.established_attacker : report_.established_client)
+            .add(now, 1.0);
+      });
+}
+
+void ServerAgent::start(SimTime until) {
+  until_ = until;
+  host_.set_handler([this](SimTime now, const tcp::Segment& seg) {
+    on_segment(now, seg);
+  });
+  service_loop();
+  tick_loop();
+  sample_loop();
+}
+
+void ServerAgent::send_all(const std::vector<tcp::Segment>& segs) {
+  for (const tcp::Segment& seg : segs) {
+    report_.tx_bytes.add(sim_.now(), seg.wire_size());
+    if (seg.options.challenge) {
+      report_.challenge_synacks.add(sim_.now(), 1.0);
+    } else if (seg.is_syn_ack()) {
+      report_.plain_synacks.add(sim_.now(), 1.0);
+    }
+    host_.send(seg);
+  }
+}
+
+void ServerAgent::on_segment(SimTime now, const tcp::Segment& seg) {
+  report_.rx_bytes.add(now, seg.wire_size());
+  cpu_.charge_seconds(cfg_.per_packet_cpu_sec);
+  send_all(listener_.on_segment(now, seg));
+  cpu_.charge_hash_ops(listener_.take_hash_ops());
+}
+
+void ServerAgent::on_request(SimTime now, const tcp::FlowKey& flow,
+                             const tcp::Segment& seg) {
+  if (const auto it = workers_.find(flow); it != workers_.end()) {
+    if (!it->second.has_request) {
+      it->second.has_request = true;
+      ready_.push_back(flow);
+    }
+    return;
+  }
+  // Request arrived before a worker accepted the connection.
+  early_requests_[flow] += seg.payload_bytes;
+  (void)now;
+}
+
+void ServerAgent::respond_and_close(SimTime now, const tcp::FlowKey& flow) {
+  tcp::Segment resp;
+  resp.saddr = flow.laddr;
+  resp.daddr = flow.raddr;
+  resp.sport = flow.lport;
+  resp.dport = flow.rport;
+  resp.flags = tcp::kAck | tcp::kPsh;
+  resp.payload_bytes = cfg_.response_bytes;
+  report_.responses.add(now, 1.0);
+  send_all({resp});
+
+  workers_.erase(flow);
+  early_requests_.erase(flow);
+  listener_.close(flow);
+}
+
+void ServerAgent::drain_accept_queue(SimTime now) {
+  while (static_cast<int>(workers_.size()) < cfg_.n_workers) {
+    auto conn = listener_.accept(now);
+    if (!conn) break;
+    WorkerState state{*conn, now, false};
+    if (early_requests_.contains(conn->flow)) {
+      state.has_request = true;
+      ready_.push_back(conn->flow);
+    }
+    workers_.emplace(conn->flow, state);
+  }
+}
+
+void ServerAgent::service_loop() {
+  if (sim_.now() >= until_) return;
+  // One request completion per Exp(µ).
+  const SimTime next = sim_.now() + SimTime::from_seconds(
+                                        rng_.exponential(cfg_.service_rate));
+  sim_.schedule_at(std::min(next, until_), [this] {
+    const SimTime now = sim_.now();
+    while (!ready_.empty()) {
+      const tcp::FlowKey flow = ready_.front();
+      ready_.pop_front();
+      const auto it = workers_.find(flow);
+      if (it == workers_.end() || !it->second.has_request) continue;  // stale
+      respond_and_close(now, flow);
+      break;
+    }
+    drain_accept_queue(now);
+    service_loop();
+  });
+}
+
+void ServerAgent::tick_loop() {
+  if (sim_.now() >= until_) return;
+  sim_.schedule_in(cfg_.tick_interval, [this] {
+    const SimTime now = sim_.now();
+    send_all(listener_.on_tick(now));
+    cpu_.charge_hash_ops(listener_.take_hash_ops());
+
+    // §7 closed loop: retune the difficulty from the observed traffic.
+    if (adaptive_) {
+      const puzzle::Difficulty d = adaptive_->update(now, listener_.counters());
+      if (d != listener_.config().difficulty) listener_.set_difficulty(d);
+    }
+
+    // Reap workers pinned by request-less connections (flood bots).
+    for (auto it = workers_.begin(); it != workers_.end();) {
+      if (!it->second.has_request &&
+          now - it->second.accepted_at > cfg_.app_idle_timeout) {
+        listener_.close(it->first);
+        early_requests_.erase(it->first);
+        it = workers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Early requests whose connection evaporated (closed before accept).
+    for (auto it = early_requests_.begin(); it != early_requests_.end();) {
+      if (!listener_.is_established(it->first)) {
+        it = early_requests_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    drain_accept_queue(now);
+    tick_loop();
+  });
+}
+
+void ServerAgent::sample_loop() {
+  if (sim_.now() >= until_) return;
+  sim_.schedule_in(cfg_.sample_interval, [this] {
+    const SimTime now = sim_.now();
+    report_.listen_queue.record(now,
+                                static_cast<double>(listener_.listen_depth()));
+    report_.accept_queue.record(now,
+                                static_cast<double>(listener_.accept_depth()));
+    report_.cpu.record(now, cpu_.sample_utilization(now, cfg_.sample_interval));
+    report_.difficulty_m.record(
+        now, static_cast<double>(listener_.config().difficulty.m));
+    sample_loop();
+  });
+}
+
+}  // namespace tcpz::sim

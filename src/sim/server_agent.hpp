@@ -1,0 +1,99 @@
+// The victim server: a Listener wired to a Host, plus the application model.
+//
+// Application model (apache2-style, per the §6 workload): a bounded worker
+// pool accepts connections; a worker serves its connection's request at
+// exponential rate µ in aggregate (the M/M/1 abstraction of §4.1, measured
+// as ~1100 req/s in Fig. 3b) and is then freed. A connection that never
+// sends a request — a connection-flood bot — pins its worker until the idle
+// timeout. Under a flood the effective accept-queue drain is therefore
+// workers/idle_timeout, which is what actually collapses an unprotected
+// server even though its nominal µ is high.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "core/adaptive.hpp"
+#include "net/node.hpp"
+#include "net/simulator.hpp"
+#include "sim/cpu.hpp"
+#include "sim/metrics.hpp"
+#include "tcp/listener.hpp"
+#include "util/rng.hpp"
+
+namespace tcpz::sim {
+
+struct ServerAgentConfig {
+  tcp::ListenerConfig listener;
+  double service_rate = 1100.0;  ///< µ: request completions/s (Fig. 3b)
+  int n_workers = 1024;          ///< apache worker/thread pool size
+  std::uint32_t response_bytes = 100'000;
+  SimTime app_idle_timeout = SimTime::seconds(5);
+  CpuSpec cpu{10'800'000.0, 12, 1};  ///< §7: 10.8 Mhash/s server
+  /// CPU charged per received packet (syscall/softirq cost).
+  double per_packet_cpu_sec = 2e-6;
+  SimTime tick_interval = SimTime::milliseconds(100);
+  SimTime sample_interval = SimTime::milliseconds(250);
+  /// Classifier for the established-by-source-class metric.
+  std::function<bool(std::uint32_t addr)> is_attacker;
+  /// Enable the §7 closed-loop difficulty controller.
+  std::optional<AdaptiveConfig> adaptive;
+};
+
+class ServerAgent {
+ public:
+  ServerAgent(net::Simulator& sim, net::Host& host, ServerAgentConfig cfg,
+              crypto::SecretKey secret, std::uint64_t seed,
+              std::shared_ptr<const puzzle::PuzzleEngine> engine);
+
+  /// Installs the host handler and schedules the periodic loops. `until`
+  /// bounds the self-rescheduling loops so the simulation can end.
+  void start(SimTime until);
+
+  [[nodiscard]] ServerReport& report() { return report_; }
+  [[nodiscard]] const ServerReport& report() const { return report_; }
+  [[nodiscard]] tcp::Listener& listener() { return listener_; }
+  [[nodiscard]] CpuModel& cpu() { return cpu_; }
+  [[nodiscard]] int busy_workers() const {
+    return static_cast<int>(workers_.size());
+  }
+
+ private:
+  struct WorkerState {
+    tcp::AcceptedConnection conn;
+    SimTime accepted_at;
+    bool has_request = false;
+  };
+
+  void on_segment(SimTime now, const tcp::Segment& seg);
+  void on_request(SimTime now, const tcp::FlowKey& flow, const tcp::Segment& seg);
+  void service_loop();
+  void tick_loop();
+  void sample_loop();
+  void drain_accept_queue(SimTime now);
+  void send_all(const std::vector<tcp::Segment>& segs);
+  void respond_and_close(SimTime now, const tcp::FlowKey& flow);
+
+  net::Simulator& sim_;
+  net::Host& host_;
+  ServerAgentConfig cfg_;
+  tcp::Listener listener_;
+  CpuModel cpu_;
+  Rng rng_;
+  ServerReport report_;
+  SimTime until_;
+
+  /// Connections holding a worker (accepted, not yet responded/reaped).
+  std::unordered_map<tcp::FlowKey, WorkerState, tcp::FlowKeyHash> workers_;
+  /// Workers whose request has arrived, FIFO for the service loop.
+  std::deque<tcp::FlowKey> ready_;
+  /// Requests that arrived before accept() got to the connection.
+  std::unordered_map<tcp::FlowKey, std::uint32_t, tcp::FlowKeyHash> early_requests_;
+
+  std::optional<AdaptiveDifficultyController> adaptive_;
+};
+
+}  // namespace tcpz::sim

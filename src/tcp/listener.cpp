@@ -1,0 +1,490 @@
+#include "tcp/listener.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "util/log.hpp"
+
+namespace tcpz::tcp {
+
+const char* to_string(DefenseMode m) {
+  switch (m) {
+    case DefenseMode::kNone: return "none";
+    case DefenseMode::kSynCookies: return "syncookies";
+    case DefenseMode::kPuzzles: return "puzzles";
+  }
+  return "unknown";
+}
+
+Listener::Listener(ListenerConfig cfg, crypto::SecretKey secret,
+                   std::uint64_t seed,
+                   std::shared_ptr<const puzzle::PuzzleEngine> engine)
+    : cfg_(cfg),
+      secret_(secret),
+      engine_(std::move(engine)),
+      cookies_(secret),
+      rng_(seed),
+      listen_(cfg.listen_backlog),
+      accept_(cfg.accept_backlog) {
+  if (cfg_.mode == DefenseMode::kPuzzles && !engine_ && !cfg_.cookie_fallback) {
+    throw std::invalid_argument(
+        "Listener: puzzles mode requires a PuzzleEngine (or cookie_fallback)");
+  }
+}
+
+void Listener::set_mode(DefenseMode mode) {
+  if (mode == DefenseMode::kPuzzles && !engine_ && !cfg_.cookie_fallback) {
+    throw std::invalid_argument("Listener: no PuzzleEngine installed");
+  }
+  cfg_.mode = mode;
+}
+
+void Listener::set_difficulty(puzzle::Difficulty d) {
+  if (d.k == 0 || d.m == 0) {
+    throw std::invalid_argument("Listener: difficulty must have k,m >= 1");
+  }
+  cfg_.difficulty = d;
+}
+
+void Listener::set_engine(std::shared_ptr<const puzzle::PuzzleEngine> engine) {
+  engine_ = std::move(engine);
+}
+
+void Listener::update_protection(SimTime now) {
+  if (cfg_.mode != DefenseMode::kPuzzles) return;
+  // §5: puzzles are "enabled when the socket's [SYN] queue is full". A
+  // connection flood reaches this state indirectly: the accept queue (and
+  // the application's workers) fill first, final ACKs park in SYN_RECV, and
+  // the parked entries saturate the listen queue — which is the saturation
+  // Fig. 10 shows. Once in effect, protection persists (the hold) and
+  // challenges keep flowing "even if the accept queue overflows".
+  const double w = cfg_.protection_engage_water;
+  const bool engaged =
+      listen_.full() || static_cast<double>(listen_.size()) >=
+                            w * static_cast<double>(listen_.capacity());
+  if (engaged) {
+    protection_latched_ = true;
+    protection_hold_until_ = now + cfg_.protection_hold;
+  } else if (protection_latched_ && now >= protection_hold_until_) {
+    protection_latched_ = false;
+  }
+}
+
+bool Listener::protection_active() const {
+  switch (cfg_.mode) {
+    case DefenseMode::kNone:
+      return false;
+    case DefenseMode::kSynCookies:
+      return listen_.full();
+    case DefenseMode::kPuzzles:
+      return cfg_.always_challenge || protection_latched_ || listen_.full();
+  }
+  return false;
+}
+
+std::uint32_t Listener::stateless_iss(const FlowKey& flow,
+                                      std::uint32_t ts) const {
+  Bytes msg;
+  msg.reserve(32);
+  const char label[] = "tcpz-iss-v1";
+  msg.insert(msg.end(), label, label + sizeof(label) - 1);
+  put_u32be(msg, flow.raddr);
+  put_u16be(msg, flow.rport);
+  put_u32be(msg, flow.laddr);
+  put_u16be(msg, flow.lport);
+  put_u32be(msg, ts);
+  const auto d = crypto::hmac_sha256(secret_.bytes(), msg);
+  return (static_cast<std::uint32_t>(d[0]) << 24) |
+         (static_cast<std::uint32_t>(d[1]) << 16) |
+         (static_cast<std::uint32_t>(d[2]) << 8) | d[3];
+}
+
+std::uint64_t Listener::take_hash_ops() {
+  const std::uint64_t ops = hash_ops_pending_;
+  hash_ops_pending_ = 0;
+  return ops;
+}
+
+std::vector<Segment> Listener::on_segment(SimTime now, const Segment& seg) {
+  if (seg.daddr != cfg_.local_addr || seg.dport != cfg_.local_port) return {};
+  update_protection(now);
+
+  if (seg.is_rst()) {
+    const FlowKey flow = FlowKey::from_incoming(seg);
+    listen_.erase(flow);
+    established_.erase(flow);
+    return {};
+  }
+  if (seg.is_syn()) return handle_syn(now, seg);
+  if (seg.flags & kAck) return handle_ack(now, seg);
+  return {};
+}
+
+Segment Listener::make_synack(const HalfOpenEntry& entry,
+                              std::uint32_t now_ms) const {
+  Segment s;
+  s.saddr = entry.flow.laddr;
+  s.daddr = entry.flow.raddr;
+  s.sport = entry.flow.lport;
+  s.dport = entry.flow.rport;
+  s.seq = entry.iss;
+  s.ack = entry.client_isn + 1;
+  s.flags = kSyn | kAck;
+  s.options.mss = cfg_.mss;
+  s.options.wscale = cfg_.wscale;
+  if (cfg_.use_timestamps && entry.peer_ts_ok) {
+    s.options.ts = TimestampsOption{now_ms, entry.peer_tsval};
+  }
+  return s;
+}
+
+Segment Listener::make_rst(const Segment& in) const {
+  Segment s;
+  s.saddr = in.daddr;
+  s.daddr = in.saddr;
+  s.sport = in.dport;
+  s.dport = in.sport;
+  s.seq = in.ack;
+  s.ack = in.seq + in.payload_bytes;
+  s.flags = kRst | kAck;
+  return s;
+}
+
+std::vector<Segment> Listener::handle_syn(SimTime now, const Segment& seg) {
+  ++counters_.syns_received;
+  const FlowKey flow = FlowKey::from_incoming(seg);
+  const std::uint32_t now_ms = to_ms(now);
+
+  // Retransmitted SYN for an existing half-open connection: resend SYN-ACK.
+  if (HalfOpenEntry* entry = listen_.find(flow)) {
+    ++counters_.synack_retx;
+    ++counters_.synacks_sent;
+    return {make_synack(*entry, now_ms)};
+  }
+  // SYN for an already-established flow: ignore (simplified; stock stacks
+  // send a challenge-ACK here).
+  if (established_.contains(flow)) return {};
+
+  const bool peer_ts = seg.options.ts.has_value();
+  const std::uint16_t peer_mss = seg.options.mss.value_or(536);
+
+  if (cfg_.mode == DefenseMode::kPuzzles && protection_active() && engine_) {
+    // Stateless challenge path: derive everything from the secret and the
+    // packet; nothing is enqueued.
+    puzzle::FlowBinding bind{seg.saddr, seg.daddr, seg.sport, seg.dport, seg.seq};
+    const puzzle::Challenge ch =
+        engine_->make_challenge(bind, now_ms, cfg_.difficulty);
+    hash_ops_pending_ += static_cast<std::uint64_t>(puzzle::Difficulty::generate_hashes());
+    counters_.crypto_hash_ops += 1;
+
+    Segment s;
+    s.saddr = seg.daddr;
+    s.daddr = seg.saddr;
+    s.sport = seg.dport;
+    s.dport = seg.sport;
+    s.seq = stateless_iss(flow, now_ms);
+    s.ack = seg.seq + 1;
+    s.flags = kSyn | kAck;
+    s.options.mss = cfg_.mss;
+    s.options.wscale = cfg_.wscale;
+    ChallengeOption copt;
+    copt.k = ch.diff.k;
+    copt.m = ch.diff.m;
+    copt.sol_len = ch.sol_len;
+    copt.preimage = ch.preimage;
+    if (cfg_.use_timestamps && peer_ts) {
+      s.options.ts = TimestampsOption{now_ms, seg.options.ts->tsval};
+    } else {
+      copt.embedded_ts = now_ms;
+    }
+    s.options.challenge = std::move(copt);
+    ++counters_.challenges_sent;
+    ++counters_.synacks_sent;
+    return {s};
+  }
+
+  const bool cookie_mode =
+      cfg_.mode == DefenseMode::kSynCookies ||
+      (cfg_.mode == DefenseMode::kPuzzles && !engine_ && cfg_.cookie_fallback);
+  if (cookie_mode && listen_.full()) {
+    const std::uint32_t cookie =
+        cookies_.encode(flow, seg.seq, peer_mss, to_sec(now));
+    counters_.crypto_hash_ops += 1;
+    ++hash_ops_pending_;
+
+    Segment s;
+    s.saddr = seg.daddr;
+    s.daddr = seg.saddr;
+    s.sport = seg.dport;
+    s.dport = seg.sport;
+    s.seq = cookie;
+    s.ack = seg.seq + 1;
+    s.flags = kSyn | kAck;
+    // SYN cookies cannot carry wscale and only an approximate MSS — this is
+    // the performance loss §5 calls out.
+    s.options.mss = SynCookieCodec::kMssTable[SynCookieCodec::mss_to_index(peer_mss)];
+    if (cfg_.use_timestamps && peer_ts) {
+      s.options.ts = TimestampsOption{now_ms, seg.options.ts->tsval};
+    }
+    ++counters_.cookies_sent;
+    ++counters_.synacks_sent;
+    return {s};
+  }
+
+  if (listen_.full()) {
+    ++counters_.drops_listen_full;
+    return {};
+  }
+
+  // Normal, opportunistic path: allocate half-open state.
+  HalfOpenEntry entry;
+  entry.flow = flow;
+  entry.client_isn = seg.seq;
+  entry.iss = static_cast<std::uint32_t>(rng_.next());
+  entry.peer_mss = peer_mss;
+  entry.peer_wscale = seg.options.wscale.value_or(0);
+  entry.peer_ts_ok = peer_ts;
+  entry.peer_tsval = peer_ts ? seg.options.ts->tsval : 0;
+  entry.created = now;
+  entry.next_retx = now + cfg_.synack_timeout;
+  listen_.insert(entry);
+
+  ++counters_.plain_synacks;
+  ++counters_.synacks_sent;
+  return {make_synack(entry, now_ms)};
+}
+
+std::vector<Segment> Listener::handle_ack(SimTime now, const Segment& seg) {
+  ++counters_.acks_received;
+  const FlowKey flow = FlowKey::from_incoming(seg);
+
+  // 1. ACK carrying a puzzle solution.
+  if (seg.options.solution && cfg_.mode == DefenseMode::kPuzzles && engine_) {
+    return handle_solution_ack(now, seg);
+  }
+
+  // 2. Final ACK of a stateful handshake (also reached by a duplicate ACK or
+  // by the first data segment, which carries the same acknowledgment — this
+  // is how a parked SYN_RECV entry eventually completes).
+  if (HalfOpenEntry* entry = listen_.find(flow)) {
+    if (seg.ack != entry->iss + 1) return {};  // stray or spoofed
+    if (accept_.full()) {
+      // Linux semantics: the ACK is dropped and the connection request stays
+      // in the SYN queue, retransmitting its SYN-ACK until it expires. It
+      // completes only if the peer sends again while there is room. Flood
+      // tools never send again; real clients do.
+      if (!entry->acked) {
+        entry->acked = true;
+        ++counters_.acks_pending_accept;
+      }
+      return {};
+    }
+    AcceptedConnection conn;
+    conn.flow = flow;
+    conn.client_isn = entry->client_isn;
+    conn.iss = entry->iss;
+    conn.peer_mss = entry->peer_mss;
+    conn.peer_wscale = entry->peer_wscale;
+    conn.path = EstablishPath::kQueue;
+    conn.established_at = now;
+    listen_.erase(flow);
+    establish(now, conn);
+    if (seg.payload_bytes > 0) {
+      ++counters_.data_segments;
+      if (data_handler_) data_handler_(now, flow, seg);
+    }
+    return {};
+  }
+
+  // 3. Data segment on an established flow.
+  if (const auto it = established_.find(flow); it != established_.end()) {
+    if (seg.payload_bytes > 0) {
+      ++counters_.data_segments;
+      if (data_handler_) data_handler_(now, flow, seg);
+    }
+    return {};
+  }
+
+  // 4. Possible SYN-cookie ACK (no local state at all).
+  const bool cookie_mode =
+      cfg_.mode == DefenseMode::kSynCookies ||
+      (cfg_.mode == DefenseMode::kPuzzles && !engine_ && cfg_.cookie_fallback);
+  if (cookie_mode && seg.payload_bytes == 0) {
+    const std::uint32_t cookie = seg.ack - 1;
+    const std::uint32_t client_isn = seg.seq - 1;
+    counters_.crypto_hash_ops += 1;
+    ++hash_ops_pending_;
+    if (const auto mss = cookies_.decode(flow, client_isn, cookie, to_sec(now))) {
+      ++counters_.cookies_valid;
+      if (accept_.full()) {
+        ++counters_.cookie_drops_accept_full;
+        return {};
+      }
+      AcceptedConnection conn;
+      conn.flow = flow;
+      conn.client_isn = client_isn;
+      conn.iss = cookie;
+      conn.peer_mss = *mss;
+      conn.peer_wscale = 0;  // cookies cannot carry wscale
+      conn.path = EstablishPath::kCookie;
+      conn.established_at = now;
+      establish(now, conn);
+      return {};
+    }
+    ++counters_.cookies_invalid;
+    return {};
+  }
+
+  // 5. Unknown flow. Data gets a RST (this is how a deceived flooder learns
+  // its "connection" does not exist); bare ACKs are ignored to avoid
+  // becoming a RST amplifier under spoofed floods.
+  if (seg.payload_bytes > 0) {
+    ++counters_.data_unknown_flow;
+    if (cfg_.rst_unknown) {
+      ++counters_.rsts_sent;
+      return {make_rst(seg)};
+    }
+  }
+  return {};
+}
+
+std::vector<Segment> Listener::handle_solution_ack(SimTime now,
+                                                   const Segment& seg) {
+  ++counters_.solution_acks;
+  const FlowKey flow = FlowKey::from_incoming(seg);
+  const std::uint32_t now_ms = to_ms(now);
+  const SolutionOption& sopt = *seg.options.solution;
+
+  // Recover the challenge timestamp: TSecr when timestamps are in use,
+  // otherwise the embedded copy.
+  std::uint32_t ts;
+  if (seg.options.ts) {
+    ts = seg.options.ts->tsecr;
+  } else if (sopt.embedded_ts) {
+    ts = *sopt.embedded_ts;
+  } else {
+    ++counters_.solutions_invalid;
+    return {};
+  }
+
+  // The ACK must acknowledge the stateless ISS we derived for this flow and
+  // timestamp; otherwise the sender never saw our SYN-ACK.
+  if (seg.ack != stateless_iss(flow, ts) + 1) {
+    ++counters_.solutions_bad_ackno;
+    return {};
+  }
+
+  // Replay of a flow that is already admitted occupies no additional slot.
+  if (established_.contains(flow) || accept_.contains(flow)) {
+    ++counters_.solutions_duplicate;
+    return {};
+  }
+
+  // §5: while under attack, verify only when there is room to accept; a full
+  // queue means the ACK is silently ignored (deception: the sender believes
+  // the connection exists until its first data segment draws a RST).
+  if (accept_.full()) {
+    ++counters_.acks_ignored_accept_full;
+    return {};
+  }
+
+  // Split the concatenated solution bytes into k values of sol_len bytes.
+  const std::uint8_t sol_len = engine_->config().sol_len;
+  const unsigned k = cfg_.difficulty.k;
+  puzzle::Solution solution;
+  solution.timestamp = ts;
+  if (sol_len == 0 ||
+      sopt.solutions.size() != static_cast<std::size_t>(sol_len) * k) {
+    ++counters_.solutions_invalid;
+    return {};
+  }
+  solution.values.reserve(k);
+  for (unsigned i = 0; i < k; ++i) {
+    solution.values.emplace_back(
+        sopt.solutions.begin() + static_cast<long>(i) * sol_len,
+        sopt.solutions.begin() + static_cast<long>(i + 1) * sol_len);
+  }
+
+  puzzle::FlowBinding bind{seg.saddr, seg.daddr, seg.sport, seg.dport,
+                           seg.seq - 1};
+  const puzzle::VerifyOutcome outcome =
+      engine_->verify(bind, solution, cfg_.difficulty, now_ms);
+  counters_.crypto_hash_ops += outcome.hash_ops;
+  hash_ops_pending_ += outcome.hash_ops;
+
+  if (!outcome.ok) {
+    if (outcome.error == puzzle::VerifyError::kExpired ||
+        outcome.error == puzzle::VerifyError::kFutureTimestamp) {
+      ++counters_.solutions_expired;
+    } else {
+      ++counters_.solutions_invalid;
+    }
+    return {};
+  }
+
+  ++counters_.solutions_valid;
+  AcceptedConnection conn;
+  conn.flow = flow;
+  conn.client_isn = seg.seq - 1;
+  conn.iss = seg.ack - 1;
+  conn.peer_mss = sopt.mss;        // re-sent in the solution block (§5)
+  conn.peer_wscale = sopt.wscale;  // full wscale, unlike SYN cookies
+  conn.path = EstablishPath::kPuzzle;
+  conn.established_at = now;
+  establish(now, conn);
+  return {};
+}
+
+void Listener::establish(SimTime now, const AcceptedConnection& conn) {
+  established_.emplace(conn.flow, EstablishedConn{conn, false});
+  accept_.push(conn);
+  ++counters_.established_total;
+  switch (conn.path) {
+    case EstablishPath::kQueue: ++counters_.established_queue; break;
+    case EstablishPath::kCookie: ++counters_.established_cookie; break;
+    case EstablishPath::kPuzzle: ++counters_.established_puzzle; break;
+  }
+  if (establish_handler_) establish_handler_(now, conn);
+}
+
+std::vector<Segment> Listener::on_tick(SimTime now) {
+  update_protection(now);
+  std::vector<Segment> out;
+  const std::uint32_t now_ms = to_ms(now);
+
+  listen_.retain([&](HalfOpenEntry& entry) {
+    // Parked (acked) entries are NOT promoted here: Linux completes them
+    // only when the peer transmits again (duplicate ACK or data) while the
+    // accept queue has room. They keep retransmitting the SYN-ACK — which is
+    // what prompts a live peer to re-ACK — and expire like any half-open.
+    if (now >= entry.next_retx) {
+      if (entry.retx_count >= cfg_.max_synack_retries) {
+        ++counters_.half_open_expired;
+        return false;
+      }
+      ++entry.retx_count;
+      // Exponential backoff, as the kernel does.
+      entry.next_retx = now + cfg_.synack_timeout * (1ll << entry.retx_count);
+      ++counters_.synack_retx;
+      ++counters_.synacks_sent;
+      out.push_back(make_synack(entry, now_ms));
+    }
+    return true;
+  });
+  return out;
+}
+
+std::optional<AcceptedConnection> Listener::accept(SimTime now) {
+  (void)now;
+  auto conn = accept_.pop();
+  if (conn) {
+    if (const auto it = established_.find(conn->flow); it != established_.end()) {
+      it->second.accepted = true;
+    }
+  }
+  return conn;
+}
+
+void Listener::close(const FlowKey& flow) { established_.erase(flow); }
+
+}  // namespace tcpz::tcp

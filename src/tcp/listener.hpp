@@ -1,0 +1,230 @@
+// Server-side TCP handshake state machine with the paper's protections.
+//
+// This is the userspace equivalent of the paper's Linux 4.13 patch (§5):
+//
+//  * Puzzles are off in normal operation; a SYN is answered with a plain
+//    SYN-ACK and a listen-queue entry ("opportunistic controller").
+//  * When the listen queue — or, per the paper's modification, the accept
+//    queue — is full and puzzles are enabled, the server answers SYNs with a
+//    challenge in the SYN-ACK and keeps NO state (statelessness property).
+//  * An ACK carrying a valid, fresh solution establishes the connection
+//    directly into the accept queue. If the accept queue is full the ACK is
+//    ignored; the client believes it connected and a later data segment is
+//    answered with RST (the deception mechanism of §5).
+//  * SYN cookies are implemented as the comparison baseline and as the
+//    backup option.
+//  * Difficulty (k, m) and mode are runtime-tunable, mirroring the sysctl
+//    interface.
+//
+// The class is sans-I/O: callers feed segments and ticks in, and get
+// segments to transmit back. That makes it equally usable from unit tests,
+// the discrete-event simulator, and a raw-socket/DPDK shim.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/secret.hpp"
+#include "puzzle/engine.hpp"
+#include "tcp/queues.hpp"
+#include "tcp/segment.hpp"
+#include "tcp/syncookie.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace tcpz::tcp {
+
+enum class DefenseMode : std::uint8_t {
+  kNone,        ///< stock TCP: drop SYNs when the listen queue is full
+  kSynCookies,  ///< stateless cookies when the listen queue is full
+  kPuzzles,     ///< client puzzles when either queue is full
+};
+
+[[nodiscard]] const char* to_string(DefenseMode m);
+
+struct ListenerConfig {
+  std::uint32_t local_addr = 0;
+  std::uint16_t local_port = 80;
+  std::size_t listen_backlog = 1024;
+  std::size_t accept_backlog = 1024;
+  DefenseMode mode = DefenseMode::kNone;
+  puzzle::Difficulty difficulty{2, 17};
+  /// Use SYN cookies when puzzles are enabled but no engine is configured.
+  bool cookie_fallback = false;
+  SimTime synack_timeout = SimTime::seconds(1);
+  /// Linux tcp_synack_retries default: 5 retries with exponential backoff,
+  /// a ~63 s half-open lifetime. This lifetime is what keeps the listen
+  /// queue "mostly saturated" during a connection flood (Fig. 10).
+  int max_synack_retries = 5;
+  std::uint16_t mss = 1460;
+  std::uint8_t wscale = 7;
+  /// Carry the challenge timestamp in the TCP timestamps option when the
+  /// peer negotiated it; otherwise embed it in the challenge/solution blocks.
+  bool use_timestamps = true;
+  /// Answer data segments for unknown flows with RST.
+  bool rst_unknown = true;
+  /// Challenge every SYN regardless of queue state (Experiment 1 needs the
+  /// puzzle path exercised without an attack filling the queues).
+  bool always_challenge = false;
+  /// Hysteresis for the puzzles controller: protection engages the moment
+  /// either queue fills and stays "in effect" (§5) for this long after the
+  /// last full-queue observation. Without a hold, every established
+  /// connection momentarily opens one queue slot and an attacker SYN
+  /// recycles it within an RTT, leaking flood connections at the accept
+  /// drain rate. The default matches the ~30 s attack-end detection time
+  /// the paper reports; periodic re-fills during a long attack produce
+  /// exactly the opportunistic openings ("dark ticks") of Fig. 8.
+  SimTime protection_hold = SimTime::seconds(60);
+  /// Occupancy fraction at which the puzzles controller engages. 1.0 is the
+  /// paper's "when the socket's queue is full"; lowering it shrinks the
+  /// burst of unchallenged connections admitted while an attack ramps up,
+  /// at the cost of the listen queue no longer filling with parked attack
+  /// state (the saturation Fig. 10 shows).
+  double protection_engage_water = 1.0;
+};
+
+/// Everything the evaluation measures, in one place. All counters are
+/// cumulative over the listener's lifetime.
+struct ListenerCounters {
+  std::uint64_t syns_received = 0;
+  std::uint64_t synacks_sent = 0;        ///< total, all kinds
+  std::uint64_t plain_synacks = 0;       ///< no challenge, no cookie
+  std::uint64_t challenges_sent = 0;
+  std::uint64_t cookies_sent = 0;
+  std::uint64_t synack_retx = 0;
+  std::uint64_t drops_listen_full = 0;   ///< SYN dropped, no defence active
+
+  std::uint64_t acks_received = 0;
+  std::uint64_t solution_acks = 0;
+  std::uint64_t solutions_valid = 0;
+  std::uint64_t solutions_invalid = 0;
+  std::uint64_t solutions_expired = 0;
+  std::uint64_t solutions_bad_ackno = 0;
+  std::uint64_t solutions_duplicate = 0;  ///< replay of an already-admitted flow
+  std::uint64_t acks_ignored_accept_full = 0;
+  std::uint64_t cookies_valid = 0;
+  std::uint64_t cookies_invalid = 0;
+  std::uint64_t cookie_drops_accept_full = 0;
+  std::uint64_t acks_pending_accept = 0;  ///< handshake done, accept queue full
+
+  std::uint64_t established_total = 0;
+  std::uint64_t established_queue = 0;
+  std::uint64_t established_cookie = 0;
+  std::uint64_t established_puzzle = 0;
+
+  std::uint64_t half_open_expired = 0;
+  std::uint64_t rsts_sent = 0;
+  std::uint64_t data_segments = 0;
+  std::uint64_t data_unknown_flow = 0;
+
+  /// Cumulative crypto work (hash operations) the listener performed for
+  /// challenge generation, solution verification and cookie MACs. The
+  /// simulator charges this to the server's CPU model.
+  std::uint64_t crypto_hash_ops = 0;
+};
+
+class Listener {
+ public:
+  /// `engine` may be null unless mode is kPuzzles (it can also be installed
+  /// later via set_engine, before enabling puzzles).
+  Listener(ListenerConfig cfg, crypto::SecretKey secret, std::uint64_t seed,
+           std::shared_ptr<const puzzle::PuzzleEngine> engine = nullptr);
+
+  /// Feed one incoming segment; returns segments to transmit.
+  [[nodiscard]] std::vector<Segment> on_segment(SimTime now, const Segment& seg);
+
+  /// Periodic maintenance: SYN-ACK retransmission, half-open expiry, and
+  /// promotion of handshake-complete entries into a freed accept queue.
+  [[nodiscard]] std::vector<Segment> on_tick(SimTime now);
+
+  /// Application-side accept(): dequeues one established connection.
+  [[nodiscard]] std::optional<AcceptedConnection> accept(SimTime now);
+
+  /// Application-side close: releases all state for the flow.
+  void close(const FlowKey& flow);
+
+  /// Handler invoked for data segments on established flows.
+  using DataHandler =
+      std::function<void(SimTime now, const FlowKey& flow, const Segment& seg)>;
+  void set_data_handler(DataHandler handler) { data_handler_ = std::move(handler); }
+
+  /// Invoked whenever a connection is established (from any path) — the
+  /// metrics layer classifies these by source address.
+  using EstablishHandler =
+      std::function<void(SimTime now, const AcceptedConnection& conn)>;
+  void set_establish_handler(EstablishHandler handler) {
+    establish_handler_ = std::move(handler);
+  }
+
+  // -- runtime tuning (the sysctl interface of §5) --------------------------
+  void set_mode(DefenseMode mode);
+  void set_difficulty(puzzle::Difficulty d);
+  void set_engine(std::shared_ptr<const puzzle::PuzzleEngine> engine);
+
+  // -- introspection ---------------------------------------------------------
+  [[nodiscard]] std::size_t listen_depth() const { return listen_.size(); }
+  [[nodiscard]] std::size_t accept_depth() const { return accept_.size(); }
+  [[nodiscard]] std::size_t established_count() const {
+    return established_.size();
+  }
+  [[nodiscard]] bool is_established(const FlowKey& flow) const {
+    return established_.contains(flow);
+  }
+  [[nodiscard]] const ListenerCounters& counters() const { return counters_; }
+  [[nodiscard]] const ListenerConfig& config() const { return cfg_; }
+  /// True when the next SYN would be answered with a challenge.
+  [[nodiscard]] bool protection_active() const;
+
+  /// Returns the crypto hash-op count accumulated since the last call and
+  /// resets the accumulator (for CPU-time charging by the simulator).
+  [[nodiscard]] std::uint64_t take_hash_ops();
+
+ private:
+  struct EstablishedConn {
+    AcceptedConnection conn;
+    bool accepted = false;
+  };
+
+  [[nodiscard]] std::vector<Segment> handle_syn(SimTime now, const Segment& seg);
+  [[nodiscard]] std::vector<Segment> handle_ack(SimTime now, const Segment& seg);
+  [[nodiscard]] std::vector<Segment> handle_solution_ack(SimTime now,
+                                                         const Segment& seg);
+
+  [[nodiscard]] Segment make_synack(const HalfOpenEntry& entry,
+                                    std::uint32_t now_ms) const;
+  [[nodiscard]] Segment make_rst(const Segment& in) const;
+  [[nodiscard]] std::uint32_t stateless_iss(const FlowKey& flow,
+                                            std::uint32_t ts) const;
+  void establish(SimTime now, const AcceptedConnection& conn);
+
+  [[nodiscard]] static std::uint32_t to_ms(SimTime t) {
+    return static_cast<std::uint32_t>(t.nanos() / 1'000'000);
+  }
+  [[nodiscard]] static std::uint32_t to_sec(SimTime t) {
+    return static_cast<std::uint32_t>(t.nanos() / 1'000'000'000);
+  }
+
+  ListenerConfig cfg_;
+  crypto::SecretKey secret_;
+  std::shared_ptr<const puzzle::PuzzleEngine> engine_;
+  SynCookieCodec cookies_;
+  Rng rng_;
+
+  ListenQueue listen_;
+  AcceptQueue accept_;
+  std::unordered_map<FlowKey, EstablishedConn, FlowKeyHash> established_;
+
+  void update_protection(SimTime now);
+
+  DataHandler data_handler_;
+  EstablishHandler establish_handler_;
+  ListenerCounters counters_;
+  std::uint64_t hash_ops_pending_ = 0;
+  bool protection_latched_ = false;
+  SimTime protection_hold_until_ = SimTime::zero();
+};
+
+}  // namespace tcpz::tcp

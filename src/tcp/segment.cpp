@@ -1,0 +1,30 @@
+#include "tcp/segment.hpp"
+
+#include <cstdio>
+
+namespace tcpz::tcp {
+
+std::string ip_to_string(std::uint32_t addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+std::string Segment::summary() const {
+  std::string f;
+  if (flags & kSyn) f += "S";
+  if (flags & kAck) f += ".";
+  if (flags & kRst) f += "R";
+  if (flags & kFin) f += "F";
+  if (flags & kPsh) f += "P";
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s:%u > %s:%u [%s] seq=%u ack=%u len=%u%s%s",
+                ip_to_string(saddr).c_str(), sport, ip_to_string(daddr).c_str(),
+                dport, f.c_str(), seq, ack, payload_bytes,
+                options.challenge ? " <challenge>" : "",
+                options.solution ? " <solution>" : "");
+  return buf;
+}
+
+}  // namespace tcpz::tcp

@@ -1,0 +1,65 @@
+#include "tcp/syncookie.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/bytes.hpp"
+
+namespace tcpz::tcp {
+
+unsigned SynCookieCodec::mss_to_index(std::uint16_t mss) {
+  unsigned best = 0;
+  for (unsigned i = 0; i < 6; ++i) {  // entries 6,7 are padding duplicates
+    if (kMssTable[i] <= mss && kMssTable[i] >= kMssTable[best]) best = i;
+  }
+  return best;
+}
+
+std::uint32_t SynCookieCodec::mac24(const FlowKey& flow,
+                                    std::uint32_t client_isn, std::uint32_t t,
+                                    unsigned mss_idx) const {
+  Bytes msg;
+  msg.reserve(32);
+  const char label[] = "tcpz-syncookie-v1";
+  msg.insert(msg.end(), label, label + sizeof(label) - 1);
+  put_u32be(msg, flow.raddr);
+  put_u16be(msg, flow.rport);
+  put_u32be(msg, flow.laddr);
+  put_u16be(msg, flow.lport);
+  put_u32be(msg, client_isn);
+  put_u32be(msg, t);
+  msg.push_back(static_cast<std::uint8_t>(mss_idx));
+  const auto digest = crypto::hmac_sha256(secret_.bytes(), msg);
+  return (static_cast<std::uint32_t>(digest[0]) << 16) |
+         (static_cast<std::uint32_t>(digest[1]) << 8) |
+         static_cast<std::uint32_t>(digest[2]);
+}
+
+std::uint32_t SynCookieCodec::encode(const FlowKey& flow,
+                                     std::uint32_t client_isn,
+                                     std::uint16_t peer_mss,
+                                     std::uint32_t now_sec) const {
+  const std::uint32_t t = now_sec / kCounterPeriodSec;
+  const unsigned idx = mss_to_index(peer_mss);
+  return ((t & 0x1f) << 27) | (static_cast<std::uint32_t>(idx) << 24) |
+         mac24(flow, client_isn, t, idx);
+}
+
+std::optional<std::uint16_t> SynCookieCodec::decode(const FlowKey& flow,
+                                                    std::uint32_t client_isn,
+                                                    std::uint32_t cookie,
+                                                    std::uint32_t now_sec) const {
+  const std::uint32_t t_now = now_sec / kCounterPeriodSec;
+  const std::uint32_t t_bits = (cookie >> 27) & 0x1f;
+  const unsigned idx = (cookie >> 24) & 0x7;
+  const std::uint32_t mac = cookie & 0xffffff;
+
+  // Accept the current and the previous counter period. Reconstruct the full
+  // counter from its low 5 bits relative to now.
+  for (std::uint32_t delta = 0; delta <= 1; ++delta) {
+    const std::uint32_t t = t_now - delta;
+    if ((t & 0x1f) != t_bits) continue;
+    if (mac24(flow, client_isn, t, idx) == mac) return kMssTable[idx];
+  }
+  return std::nullopt;
+}
+
+}  // namespace tcpz::tcp

@@ -1,0 +1,62 @@
+// SYN cookies (Bernstein 1997), the baseline defence the paper compares
+// against. The server encodes connection parameters into the initial
+// sequence number of the SYN-ACK and keeps no state; a later ACK whose
+// acknowledgment number carries a valid cookie re-creates the connection.
+//
+// Layout of the 32-bit cookie (close to the classic scheme):
+//   [31:27] t     — 5-bit coarse time counter (64 s granularity)
+//   [26:24] mss   — index into the MSS table
+//   [23:0]  mac   — truncated HMAC over (flow, client ISN, t, mss index)
+//
+// The 3-bit MSS table is precisely the limitation the paper's solution
+// option removes: puzzles re-send the exact 16-bit MSS and the wscale value,
+// which SYN cookies cannot carry (§5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "crypto/secret.hpp"
+#include "tcp/segment.hpp"
+
+namespace tcpz::tcp {
+
+class SynCookieCodec {
+ public:
+  explicit SynCookieCodec(crypto::SecretKey secret) : secret_(secret) {}
+
+  /// MSS values representable in the cookie (Linux uses a similar table).
+  static constexpr std::array<std::uint16_t, 8> kMssTable = {
+      536, 1300, 1440, 1460, 4312, 8960, 536, 536};
+  static constexpr unsigned kMssBits = 3;
+
+  /// Seconds per time-counter step; a cookie is accepted for the current and
+  /// previous step, i.e. 64–128 s of validity.
+  static constexpr std::uint32_t kCounterPeriodSec = 64;
+
+  /// Index of the largest table MSS <= the peer's announced MSS.
+  [[nodiscard]] static unsigned mss_to_index(std::uint16_t mss);
+
+  /// Builds the cookie ISN for a SYN with client ISN `client_isn`.
+  [[nodiscard]] std::uint32_t encode(const FlowKey& flow,
+                                     std::uint32_t client_isn,
+                                     std::uint16_t peer_mss,
+                                     std::uint32_t now_sec) const;
+
+  /// Validates the cookie from an ACK (cookie = ack - 1). Returns the
+  /// decoded MSS on success.
+  [[nodiscard]] std::optional<std::uint16_t> decode(const FlowKey& flow,
+                                                    std::uint32_t client_isn,
+                                                    std::uint32_t cookie,
+                                                    std::uint32_t now_sec) const;
+
+ private:
+  [[nodiscard]] std::uint32_t mac24(const FlowKey& flow,
+                                    std::uint32_t client_isn, std::uint32_t t,
+                                    unsigned mss_idx) const;
+
+  crypto::SecretKey secret_;
+};
+
+}  // namespace tcpz::tcp

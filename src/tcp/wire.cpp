@@ -1,0 +1,132 @@
+#include "tcp/wire.hpp"
+
+namespace tcpz::tcp {
+
+const char* to_string(WireDecodeError e) {
+  switch (e) {
+    case WireDecodeError::kTruncated: return "truncated";
+    case WireDecodeError::kBadDataOffset: return "bad-data-offset";
+    case WireDecodeError::kBadChecksum: return "bad-checksum";
+    case WireDecodeError::kBadOptions: return "bad-options";
+  }
+  return "unknown";
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+namespace {
+
+/// The IPv4 pseudo-header + TCP header/options image used for checksumming.
+/// `checksum_field_zeroed` must hold the TCP bytes with the checksum zeroed.
+std::uint16_t tcp_checksum(const Segment& seg,
+                           std::span<const std::uint8_t> tcp_bytes) {
+  Bytes pseudo;
+  pseudo.reserve(12 + tcp_bytes.size());
+  put_u32be(pseudo, seg.saddr);
+  put_u32be(pseudo, seg.daddr);
+  pseudo.push_back(0);
+  pseudo.push_back(6);  // protocol = TCP
+  put_u16be(pseudo, static_cast<std::uint16_t>(tcp_bytes.size()));
+  pseudo.insert(pseudo.end(), tcp_bytes.begin(), tcp_bytes.end());
+  return internet_checksum(pseudo);
+}
+
+}  // namespace
+
+Bytes encode_segment(const Segment& seg) {
+  const Bytes opts = encode_options(seg.options);
+
+  Bytes tcp;
+  tcp.reserve(kTcpHeaderSize + opts.size());
+  put_u16be(tcp, seg.sport);
+  put_u16be(tcp, seg.dport);
+  put_u32be(tcp, seg.seq);
+  put_u32be(tcp, seg.ack);
+  const auto data_off =
+      static_cast<std::uint8_t>((kTcpHeaderSize + opts.size()) / 4);
+  tcp.push_back(static_cast<std::uint8_t>(data_off << 4));
+  tcp.push_back(seg.flags);
+  put_u16be(tcp, seg.window);
+  put_u16be(tcp, 0);  // checksum placeholder
+  put_u16be(tcp, 0);  // urgent pointer
+  tcp.insert(tcp.end(), opts.begin(), opts.end());
+
+  const std::uint16_t csum = tcp_checksum(seg, tcp);
+  tcp[16] = static_cast<std::uint8_t>(csum >> 8);
+  tcp[17] = static_cast<std::uint8_t>(csum);
+
+  Bytes out;
+  out.reserve(kWirePreambleSize + tcp.size());
+  put_u32be(out, seg.saddr);
+  put_u32be(out, seg.daddr);
+  put_u32be(out, seg.payload_bytes);
+  out.insert(out.end(), tcp.begin(), tcp.end());
+  return out;
+}
+
+WireDecodeResult decode_segment(std::span<const std::uint8_t> wire) {
+  WireDecodeResult result;
+  if (wire.size() < kWirePreambleSize + kTcpHeaderSize) {
+    result.error = WireDecodeError::kTruncated;
+    return result;
+  }
+
+  Segment seg;
+  std::uint32_t payload;
+  (void)get_u32be(wire, 0, seg.saddr);
+  (void)get_u32be(wire, 4, seg.daddr);
+  (void)get_u32be(wire, 8, payload);
+  seg.payload_bytes = payload;
+
+  const std::span<const std::uint8_t> tcp = wire.subspan(kWirePreambleSize);
+  std::uint16_t v16;
+  std::uint32_t v32;
+  (void)get_u16be(tcp, 0, v16);
+  seg.sport = v16;
+  (void)get_u16be(tcp, 2, v16);
+  seg.dport = v16;
+  (void)get_u32be(tcp, 4, v32);
+  seg.seq = v32;
+  (void)get_u32be(tcp, 8, v32);
+  seg.ack = v32;
+
+  const unsigned header_len = (tcp[12] >> 4) * 4u;
+  if (header_len < kTcpHeaderSize || header_len > tcp.size()) {
+    result.error = WireDecodeError::kBadDataOffset;
+    return result;
+  }
+  seg.flags = tcp[13];
+  (void)get_u16be(tcp, 14, v16);
+  seg.window = v16;
+  std::uint16_t wire_csum;
+  (void)get_u16be(tcp, 16, wire_csum);
+
+  // Recompute the checksum with the field zeroed.
+  Bytes tcp_copy(tcp.begin(), tcp.begin() + header_len);
+  tcp_copy[16] = 0;
+  tcp_copy[17] = 0;
+  if (tcp_checksum(seg, tcp_copy) != wire_csum) {
+    result.error = WireDecodeError::kBadChecksum;
+    return result;
+  }
+
+  const std::span<const std::uint8_t> opts =
+      tcp.subspan(kTcpHeaderSize, header_len - kTcpHeaderSize);
+  if (decode_options(opts, seg.options) != DecodeResult::kOk) {
+    result.error = WireDecodeError::kBadOptions;
+    return result;
+  }
+  result.segment = std::move(seg);
+  return result;
+}
+
+}  // namespace tcpz::tcp

@@ -1,0 +1,50 @@
+// Full segment wire codec: a real 20-byte TCP header (network byte order,
+// correct data-offset, flags and checksum over the IPv4 pseudo-header),
+// preceded by a 12-byte encapsulation preamble carrying the addresses and
+// the simulated payload length:
+//
+//   [ saddr(4) | daddr(4) | payload_bytes(4) ]  encapsulation preamble
+//   [ 20-byte TCP header | options (padded) ]   real TCP wire format
+//
+// This is what the UDP transport shim (src/shim) puts on real sockets; the
+// payload itself travels as a length (the library models state exhaustion,
+// not data transfer). The checksum is the genuine Internet checksum so a
+// flipped bit anywhere in the header or options is detected.
+#pragma once
+
+#include <optional>
+
+#include "tcp/segment.hpp"
+#include "util/bytes.hpp"
+
+namespace tcpz::tcp {
+
+inline constexpr std::size_t kWirePreambleSize = 12;
+inline constexpr std::size_t kTcpHeaderSize = 20;
+
+/// Serialises the segment. Throws std::length_error if the options exceed
+/// the 40-byte TCP limit.
+[[nodiscard]] Bytes encode_segment(const Segment& seg);
+
+enum class WireDecodeError {
+  kTruncated,
+  kBadDataOffset,
+  kBadChecksum,
+  kBadOptions,
+};
+
+[[nodiscard]] const char* to_string(WireDecodeError e);
+
+struct WireDecodeResult {
+  std::optional<Segment> segment;
+  std::optional<WireDecodeError> error;
+};
+
+/// Parses wire bytes; verifies the checksum and the options encoding.
+[[nodiscard]] WireDecodeResult decode_segment(std::span<const std::uint8_t> wire);
+
+/// RFC 1071 Internet checksum over the given bytes (used for the TCP
+/// checksum with the IPv4 pseudo-header; exposed for tests).
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace tcpz::tcp

@@ -1,0 +1,87 @@
+#include "util/bytes.hpp"
+
+namespace tcpz {
+
+void put_u16be(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32be(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64be(Bytes& out, std::uint64_t v) {
+  put_u32be(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32be(out, static_cast<std::uint32_t>(v));
+}
+
+bool get_u16be(std::span<const std::uint8_t> in, std::size_t off,
+               std::uint16_t& v) {
+  if (off + 2 > in.size()) return false;
+  v = static_cast<std::uint16_t>((in[off] << 8) | in[off + 1]);
+  return true;
+}
+
+bool get_u32be(std::span<const std::uint8_t> in, std::size_t off,
+               std::uint32_t& v) {
+  if (off + 4 > in.size()) return false;
+  v = (static_cast<std::uint32_t>(in[off]) << 24) |
+      (static_cast<std::uint32_t>(in[off + 1]) << 16) |
+      (static_cast<std::uint32_t>(in[off + 2]) << 8) |
+      static_cast<std::uint32_t>(in[off + 3]);
+  return true;
+}
+
+bool get_u64be(std::span<const std::uint8_t> in, std::size_t off,
+               std::uint64_t& v) {
+  std::uint32_t hi, lo;
+  if (!get_u32be(in, off, hi) || !get_u32be(in, off + 4, lo)) return false;
+  v = (static_cast<std::uint64_t>(hi) << 32) | lo;
+  return true;
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Bytes from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) return {};
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return {};
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool ct_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace tcpz

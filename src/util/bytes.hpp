@@ -1,0 +1,34 @@
+// Byte-order and hex helpers shared by the crypto and TCP wire codecs.
+// All multi-byte integers on the wire are big-endian (network order).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tcpz {
+
+using Bytes = std::vector<std::uint8_t>;
+
+void put_u16be(Bytes& out, std::uint16_t v);
+void put_u32be(Bytes& out, std::uint32_t v);
+void put_u64be(Bytes& out, std::uint64_t v);
+
+/// Reads fail by returning false and leaving `v` untouched, so codecs can
+/// surface malformed input instead of crashing on truncated packets.
+bool get_u16be(std::span<const std::uint8_t> in, std::size_t off, std::uint16_t& v);
+bool get_u32be(std::span<const std::uint8_t> in, std::size_t off, std::uint32_t& v);
+bool get_u64be(std::span<const std::uint8_t> in, std::size_t off, std::uint64_t& v);
+
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+/// Returns empty vector for odd-length or non-hex input.
+[[nodiscard]] Bytes from_hex(const std::string& hex);
+
+/// Constant-time equality; used when comparing MACs/cookies so the comparison
+/// itself does not leak where the first mismatching byte is.
+[[nodiscard]] bool ct_equal(std::span<const std::uint8_t> a,
+                            std::span<const std::uint8_t> b);
+
+}  // namespace tcpz

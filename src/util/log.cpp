@@ -1,0 +1,21 @@
+#include "util/log.hpp"
+
+namespace tcpz {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const char* fmt, ...) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "[%s] ", kNames[static_cast<int>(level)]);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace tcpz

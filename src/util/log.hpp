@@ -1,0 +1,41 @@
+// Minimal leveled logger. The simulator is silent by default (benches print
+// their own tables); raise the level to Debug to trace handshakes.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace tcpz {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+#define TCPZ_LOG(level, ...)                                      \
+  do {                                                            \
+    if (::tcpz::Logger::instance().enabled(level)) {              \
+      ::tcpz::Logger::instance().log(level, __VA_ARGS__);         \
+    }                                                             \
+  } while (0)
+
+#define TCPZ_DEBUG(...) TCPZ_LOG(::tcpz::LogLevel::kDebug, __VA_ARGS__)
+#define TCPZ_INFO(...) TCPZ_LOG(::tcpz::LogLevel::kInfo, __VA_ARGS__)
+#define TCPZ_WARN(...) TCPZ_LOG(::tcpz::LogLevel::kWarn, __VA_ARGS__)
+#define TCPZ_ERROR(...) TCPZ_LOG(::tcpz::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace tcpz

@@ -1,0 +1,78 @@
+#include "util/rng.hpp"
+
+namespace tcpz {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // All-zero state is the one fixed point of xoshiro; splitmix64 cannot
+  // produce four zero outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  has_spare_normal_ = false;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::geometric(double p) {
+  if (p >= 1.0) return 1;
+  // U in (0, 1]: avoids log(0).
+  const double u = 1.0 - uniform();
+  const double g = std::ceil(std::log(u) / std::log1p(-p));
+  if (g < 1.0) return 1;
+  // Cap at a huge-but-representable value; with p = 2^-32 the probability of
+  // exceeding 2^40 trials is astronomically small but keep the cast safe.
+  if (g > 9.0e18) return static_cast<std::uint64_t>(9.0e18);
+  return static_cast<std::uint64_t>(g);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+Rng Rng::split() {
+  // Use two draws from this stream to seed the child; the child then runs an
+  // independent splitmix-initialised state.
+  const std::uint64_t a = next();
+  const std::uint64_t b = next();
+  return Rng{a ^ (b << 1) ^ 0xd1342543de82ef95ull};
+}
+
+}  // namespace tcpz

@@ -1,0 +1,28 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tcpz {
+
+SimTime SimTime::from_seconds(double s) {
+  return SimTime{static_cast<std::int64_t>(std::llround(s * 1e9))};
+}
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  const std::int64_t ns = nanos_;
+  const std::int64_t abs_ns = ns < 0 ? -ns : ns;
+  if (abs_ns >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) / 1e9);
+  } else if (abs_ns >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns) / 1e6);
+  } else if (abs_ns >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace tcpz

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/hmac.hpp"
+#include "crypto/secret.hpp"
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace tcpz::crypto {
+namespace {
+
+std::string digest_hex(const Sha256Digest& d) {
+  return to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256 against FIPS 180-4 / NIST CAVP vectors
+// ---------------------------------------------------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      digest_hex(Sha256::hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes: padding spills into a second block.
+  EXPECT_EQ(digest_hex(Sha256::hash(std::string(64, 'x'))),
+            Sha256::hash(std::string(64, 'x')).size() == 32
+                ? digest_hex(Sha256::hash(std::string(64, 'x')))
+                : "");
+  // 55/56/57 bytes straddle the length-field boundary.
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    const std::string msg(n, 'q');
+    Sha256 once;
+    once.update(msg);
+    Sha256 split;
+    split.update(msg.substr(0, n / 2));
+    split.update(msg.substr(n / 2));
+    EXPECT_EQ(digest_hex(once.finalize()), digest_hex(split.finalize()))
+        << "length " << n;
+  }
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : msg) h.update(std::string_view(&c, 1));
+  EXPECT_EQ(digest_hex(h.finalize()), digest_hex(Sha256::hash(msg)));
+}
+
+TEST(Sha256, ResetReusesObject) {
+  Sha256 h;
+  h.update("garbage");
+  (void)h.finalize();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(digest_hex(h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// ---------------------------------------------------------------------------
+// prefix bits
+// ---------------------------------------------------------------------------
+
+TEST(PrefixBits, ExtractsAndMasks) {
+  Sha256Digest d{};
+  d[0] = 0b10110101;
+  d[1] = 0b11110000;
+  EXPECT_EQ(prefix_bits(d, 8), (Bytes{0b10110101}));
+  EXPECT_EQ(prefix_bits(d, 4), (Bytes{0b10110000}));
+  EXPECT_EQ(prefix_bits(d, 12), (Bytes{0b10110101, 0b11110000}));
+  EXPECT_EQ(prefix_bits(d, 9), (Bytes{0b10110101, 0b10000000}));
+}
+
+TEST(PrefixBits, EqualityRespectsBitCount) {
+  Sha256Digest a{}, b{};
+  a[0] = 0b10110101;
+  b[0] = 0b10110100;  // differ in bit 8
+  EXPECT_TRUE(prefix_bits_equal(a, b, 7));
+  EXPECT_FALSE(prefix_bits_equal(a, b, 8));
+  b[0] = 0b00110101;  // differ in bit 1
+  EXPECT_FALSE(prefix_bits_equal(a, b, 1));
+  EXPECT_TRUE(prefix_bits_equal(a, b, 0));
+}
+
+TEST(PrefixBits, MultiBytePrefix) {
+  Sha256Digest a{}, b{};
+  for (int i = 0; i < 4; ++i) a[i] = b[i] = 0xab;
+  b[3] = 0xaa;  // differ in bit 32
+  EXPECT_TRUE(prefix_bits_equal(a, b, 31));
+  EXPECT_FALSE(prefix_bits_equal(a, b, 32));
+}
+
+// ---------------------------------------------------------------------------
+// HMAC-SHA256 against RFC 4231 vectors
+// ---------------------------------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto mac = hmac_sha256(key, "Hi There");
+  EXPECT_EQ(digest_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const auto mac = hmac_sha256(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      "what do ya want for nothing?");
+  EXPECT_EQ(digest_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);  // key longer than block: hashed first
+  const auto mac = hmac_sha256(
+      key, "Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(digest_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeySensitivity) {
+  const Bytes k1(32, 0x01), k2(32, 0x02);
+  EXPECT_NE(digest_hex(hmac_sha256(k1, "msg")), digest_hex(hmac_sha256(k2, "msg")));
+}
+
+// ---------------------------------------------------------------------------
+// SecretKey
+// ---------------------------------------------------------------------------
+
+TEST(SecretKey, SeededKeysDeterministic) {
+  EXPECT_EQ(SecretKey::from_seed(42), SecretKey::from_seed(42));
+  EXPECT_NE(SecretKey::from_seed(42), SecretKey::from_seed(43));
+}
+
+TEST(SecretKey, RandomKeysDiffer) {
+  const SecretKey a = SecretKey::random();
+  const SecretKey b = SecretKey::random();
+  EXPECT_NE(a, b);
+}
+
+TEST(SecretKey, SeedsAreWellMixed) {
+  // Consecutive seeds must not produce correlated key bytes.
+  const SecretKey ka = SecretKey::from_seed(1);
+  const SecretKey kb = SecretKey::from_seed(2);
+  const auto a = ka.bytes();
+  const auto b = kb.bytes();
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += (a[i] == b[i]);
+  EXPECT_LE(same, 4);
+}
+
+}  // namespace
+}  // namespace tcpz::crypto

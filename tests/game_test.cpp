@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/model.hpp"
+#include "game/planner.hpp"
+
+namespace tcpz::game {
+namespace {
+
+GameConfig uniform_game(std::size_t n, double w, double mu) {
+  GameConfig cfg;
+  cfg.valuations.assign(n, w);
+  cfg.mu = mu;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Followers' equilibrium (Eq. 8/9)
+// ---------------------------------------------------------------------------
+
+TEST(Equilibrium, SymmetricUsersGetSymmetricRates) {
+  const auto cfg = uniform_game(10, 1000.0, 500.0);
+  const Equilibrium eq = solve_equilibrium(cfg, 10.0);
+  ASSERT_TRUE(eq.exists);
+  for (double x : eq.rates) EXPECT_NEAR(x, eq.rates[0], 1e-9);
+  EXPECT_GT(eq.total_rate, 0.0);
+  EXPECT_LT(eq.total_rate, cfg.mu);
+}
+
+TEST(Equilibrium, FirstOrderConditionHolds) {
+  // At an interior equilibrium: w_i/(1+x_i) = price + 1/(mu - xbar)^2.
+  const auto cfg = uniform_game(5, 2000.0, 300.0);
+  const double price = 25.0;
+  const Equilibrium eq = solve_equilibrium(cfg, price);
+  ASSERT_TRUE(eq.exists);
+  const double slack = cfg.mu - eq.total_rate;
+  for (double x : eq.rates) {
+    EXPECT_NEAR(2000.0 / (1.0 + x), price + 1.0 / (slack * slack), 1e-4);
+  }
+}
+
+TEST(Equilibrium, IsANashEquilibrium) {
+  // No unilateral deviation improves any user's utility.
+  GameConfig cfg;
+  cfg.valuations = {500.0, 1500.0, 3000.0};
+  cfg.mu = 100.0;
+  const double price = 30.0;
+  const Equilibrium eq = solve_equilibrium(cfg, price);
+  ASSERT_TRUE(eq.exists);
+  for (std::size_t i = 0; i < cfg.valuations.size(); ++i) {
+    const double x_minus_i = eq.total_rate - eq.rates[i];
+    const double u_star = client_utility(cfg.valuations[i], eq.rates[i],
+                                         eq.total_rate, price, cfg.mu);
+    for (double dev : {-0.5, -0.1, -0.01, 0.01, 0.1, 0.5, 2.0}) {
+      const double xi = eq.rates[i] + dev;
+      if (xi < 0 || x_minus_i + xi >= cfg.mu) continue;
+      const double u_dev = client_utility(cfg.valuations[i], xi,
+                                          x_minus_i + xi, price, cfg.mu);
+      EXPECT_LE(u_dev, u_star + 1e-6)
+          << "user " << i << " improves by deviating " << dev;
+    }
+  }
+}
+
+TEST(Equilibrium, HigherPriceLowersRates) {
+  const auto cfg = uniform_game(10, 1000.0, 500.0);
+  double prev = 1e18;
+  for (double price : {1.0, 5.0, 20.0, 50.0, 90.0}) {
+    const Equilibrium eq = solve_equilibrium(cfg, price);
+    ASSERT_TRUE(eq.exists) << price;
+    EXPECT_LT(eq.total_rate, prev);
+    prev = eq.total_rate;
+  }
+}
+
+TEST(Equilibrium, HigherValuationUsersRequestMore) {
+  GameConfig cfg;
+  cfg.valuations = {100.0, 1000.0, 5000.0};
+  cfg.mu = 200.0;
+  const Equilibrium eq = solve_equilibrium(cfg, 10.0);
+  ASSERT_TRUE(eq.exists);
+  EXPECT_LT(eq.rates[0], eq.rates[1]);
+  EXPECT_LT(eq.rates[1], eq.rates[2]);
+}
+
+TEST(Equilibrium, LowValuationUsersDropOut) {
+  // §7: a user with w below the price behaves as w = 0 and leaves the game.
+  GameConfig cfg;
+  cfg.valuations = {5.0, 5000.0, 5000.0};
+  cfg.mu = 100.0;
+  const Equilibrium eq = solve_equilibrium(cfg, 50.0);
+  ASSERT_TRUE(eq.exists);
+  EXPECT_DOUBLE_EQ(eq.rates[0], 0.0);
+  EXPECT_GT(eq.rates[1], 0.0);
+}
+
+TEST(Equilibrium, InfeasiblePriceYieldsNoParticipation) {
+  const auto cfg = uniform_game(4, 100.0, 50.0);
+  const double r_hat = max_feasible_price(cfg);
+  const Equilibrium eq = solve_equilibrium(cfg, r_hat * 1.5);
+  EXPECT_FALSE(eq.exists);
+  EXPECT_DOUBLE_EQ(eq.total_rate, 0.0);
+}
+
+TEST(Equilibrium, TotalRateStaysBelowServiceCapacity) {
+  // x̄ < µ must hold — the M/M/1 delay diverges otherwise.
+  const auto cfg = uniform_game(50, 1e6, 10.0);  // huge valuations, tiny µ
+  const Equilibrium eq = solve_equilibrium(cfg, 1.0);
+  ASSERT_TRUE(eq.exists);
+  EXPECT_LT(eq.total_rate, cfg.mu);
+}
+
+TEST(Equilibrium, EmptyGame) {
+  GameConfig cfg;
+  cfg.mu = 100.0;
+  const Equilibrium eq = solve_equilibrium(cfg, 1.0);
+  EXPECT_FALSE(eq.exists);
+}
+
+TEST(MaxFeasiblePrice, MatchesEq10) {
+  const auto cfg = uniform_game(10, 1000.0, 100.0);
+  EXPECT_NEAR(max_feasible_price(cfg), 1000.0 - 1.0 / (100.0 * 100.0), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Leader's problem (Eqs. 12-14) and Theorem 1
+// ---------------------------------------------------------------------------
+
+TEST(OptimalPrice, InteriorAndFeasible) {
+  const auto cfg = uniform_game(20, 5000.0, 1000.0);
+  const PriceSolution sol = optimal_price(cfg);
+  EXPECT_GT(sol.price, 0.0);
+  EXPECT_LT(sol.price, max_feasible_price(cfg));
+  EXPECT_GT(sol.total_rate, 0.0);
+  EXPECT_GT(sol.objective, 0.0);
+}
+
+TEST(OptimalPrice, BeatsNearbyPrices) {
+  const auto cfg = uniform_game(20, 5000.0, 1000.0);
+  const PriceSolution sol = optimal_price(cfg);
+  for (double factor : {0.5, 0.8, 1.25, 2.0}) {
+    EXPECT_GE(sol.objective + 1e-6,
+              provider_objective_approx(cfg, sol.price * factor))
+        << factor;
+  }
+}
+
+TEST(OptimalPrice, ApproachesTheorem1AsNGrows) {
+  // Theorem 1: as N -> inf with mu = alpha*N, the optimal price tends to
+  // w_av / (alpha + 1).
+  const double w_av = 140'630.0;
+  const double alpha = 1.1;
+  const double limit = asymptotic_nash_price(w_av, alpha);
+  double prev_err = 1e18;
+  for (std::size_t n : {50u, 200u, 1000u}) {
+    const auto cfg = uniform_game(n, w_av, alpha * static_cast<double>(n));
+    const PriceSolution sol = optimal_price(cfg);
+    const double err = std::abs(sol.price - limit) / limit;
+    EXPECT_LT(err, prev_err * 1.05) << n;  // converging (allow tiny noise)
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.05);  // within 5% at N=1000
+}
+
+TEST(AsymptoticNash, PaperExampleValue) {
+  // w_av = 140630, alpha = 1.1 => l* = 140630 / 2.1 ~ 66966.7 (Eq. 18).
+  EXPECT_NEAR(asymptotic_nash_price(140'630.0, 1.1), 66'966.67, 0.5);
+}
+
+TEST(AsymptoticNash, BetterProvisioningMeansEasierPuzzles) {
+  // §4.2: alpha > 1 => clients commit fewer hashes than w_av.
+  const double w_av = 100'000.0;
+  EXPECT_LT(asymptotic_nash_price(w_av, 2.0), asymptotic_nash_price(w_av, 0.5));
+  EXPECT_LT(asymptotic_nash_price(w_av, 1.5), w_av);
+}
+
+TEST(ProviderObjective, NetsOutGenerationAndVerification) {
+  const auto cfg = uniform_game(10, 10'000.0, 500.0);
+  // Exact objective is approx objective minus (2 + k/2) * x̄.
+  const unsigned k = 2, m = 10;
+  const double price = k * std::exp2(m - 1);
+  const Equilibrium eq = solve_equilibrium(cfg, price);
+  ASSERT_TRUE(eq.exists);
+  EXPECT_NEAR(provider_objective(cfg, k, m),
+              provider_objective_approx(cfg, price) - (2.0 + k / 2.0) * eq.total_rate,
+              1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Planner (§4.3 / §4.4)
+// ---------------------------------------------------------------------------
+
+TEST(Planner, WavFromHashRate) {
+  EXPECT_DOUBLE_EQ(estimate_wav(351'575.0, 400.0), 140'630.0);
+  EXPECT_DOUBLE_EQ(estimate_wav(0.0), 0.0);
+  EXPECT_THROW((void)estimate_wav(-1.0), std::invalid_argument);
+}
+
+TEST(Planner, FleetAverage) {
+  EXPECT_NEAR(estimate_wav_fleet({380'000.0, 330'000.0, 344'725.0}),
+              140'630.0, 1.0);
+}
+
+TEST(Planner, AlphaFromStressTailConverges) {
+  std::vector<StressPoint> pts;
+  for (double c : {10.0, 100.0, 500.0, 900.0, 1000.0}) {
+    pts.push_back({c, 1.1 * c});  // perfectly linear: alpha = 1.1
+  }
+  EXPECT_NEAR(estimate_alpha(pts), 1.1, 1e-9);
+}
+
+TEST(Planner, AlphaUsesHighLoadTail) {
+  // Low-load points (underutilised server) must not pollute the estimate.
+  std::vector<StressPoint> pts = {
+      {1.0, 900.0},    // mu/c = 900 at trivial load
+      {800.0, 1100.0}, {900.0, 1100.0}, {1000.0, 1100.0},
+  };
+  EXPECT_NEAR(estimate_alpha(pts, 3), 1100.0 * (1 / 800.0 + 1 / 900.0 + 1 / 1000.0) / 3,
+              1e-9);
+}
+
+TEST(Planner, ChoosesPaperDifficultyForPaperProfile) {
+  // §4.4: w_av = 140630, alpha = 1.1 -> (k=2, m=17) with the paper-example
+  // target form.
+  const double target = nash_hash_target(140'630.0, 1.1, NashForm::kPaperExample);
+  const puzzle::Difficulty d = choose_difficulty(target);
+  EXPECT_EQ(d.k, 2);
+  EXPECT_EQ(d.m, 17);
+}
+
+TEST(Planner, AppendixFormGivesEasierPuzzle) {
+  const double target = nash_hash_target(140'630.0, 1.1, NashForm::kAppendix);
+  const puzzle::Difficulty d = choose_difficulty(target);
+  // l* ~ 66967 -> (2, 16): half the work of the paper-example form.
+  EXPECT_EQ(d.k, 2);
+  EXPECT_EQ(d.m, 16);
+}
+
+TEST(Planner, DifficultyHitsGuessingBound) {
+  for (double target : {1000.0, 50'000.0, 1e6}) {
+    const puzzle::Difficulty d = choose_difficulty(target);
+    EXPECT_GE(d.guess_bits(), 30u) << target;
+    // And the price is within a factor 2 of the target (power-of-two grid).
+    const double ratio = d.expected_solve_hashes() / target;
+    EXPECT_GT(ratio, 0.4) << target;
+    EXPECT_LT(ratio, 2.1) << target;
+  }
+}
+
+TEST(Planner, TinyTargetsFallBack) {
+  // No (k <= k_max, m) reaches 30 guess bits near target 4; planner returns
+  // the closest fit rather than a grossly over-hard puzzle.
+  const puzzle::Difficulty d = choose_difficulty(4.0);
+  EXPECT_LE(d.expected_solve_hashes(), 16.0);
+}
+
+TEST(Planner, EndToEndPlan) {
+  PlanInput input;
+  input.client_hash_rates = {380'000.0, 330'000.0, 344'725.0};
+  for (double c : {100.0, 500.0, 1000.0}) {
+    input.stress_test.push_back({c, 1.1 * c});
+  }
+  input.form = NashForm::kPaperExample;
+  const Plan plan = plan_difficulty(input);
+  EXPECT_NEAR(plan.w_av, 140'630.0, 1.0);
+  EXPECT_NEAR(plan.alpha, 1.1, 1e-6);
+  EXPECT_EQ(plan.difficulty.k, 2);
+  EXPECT_EQ(plan.difficulty.m, 17);
+}
+
+}  // namespace
+}  // namespace tcpz::game

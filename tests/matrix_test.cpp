@@ -1,0 +1,107 @@
+// Defence x attack matrix: every combination must run to completion without
+// tripping any invariant, and the qualitative outcome table of §6 must hold
+// — which defences survive which attack.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/scenario.hpp"
+
+namespace tcpz::sim {
+namespace {
+
+using MatrixParam = std::tuple<tcp::DefenseMode, AttackType, bool /*bots solve*/>;
+
+class DefenseAttackMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(DefenseAttackMatrix, RunsCleanAndMatchesOutcomeTable) {
+  const auto [defense, attack, bots_solve] = GetParam();
+
+  ScenarioConfig cfg;
+  cfg.seed = 13;
+  cfg.duration = SimTime::seconds(24);
+  cfg.attack_start = SimTime::seconds(8);
+  cfg.attack_end = SimTime::seconds(18);
+  cfg.n_clients = 3;
+  cfg.client_rate = 8.0;
+  cfg.response_bytes = 10'000;
+  cfg.n_bots = 3;
+  cfg.bot_rate = 500.0;
+  cfg.listen_backlog = 128;
+  cfg.accept_backlog = 128;
+  cfg.service_rate = 200.0;
+  cfg.defense = defense;
+  cfg.attack = attack;
+  cfg.bots_solve = bots_solve;
+  cfg.difficulty = {2, 16};
+
+  const ScenarioResult res = run_scenario(cfg);
+
+  // Universal invariants.
+  const auto& c = res.server.counters;
+  EXPECT_EQ(c.established_total,
+            c.established_queue + c.established_cookie + c.established_puzzle);
+  EXPECT_LE(res.server.listen_queue.max_in(SimTime::zero(), cfg.duration),
+            static_cast<double>(cfg.listen_backlog));
+  EXPECT_LE(res.server.accept_queue.max_in(SimTime::zero(), cfg.duration),
+            static_cast<double>(cfg.accept_backlog));
+  EXPECT_GT(res.events_processed, 1000u);
+
+  const double before = res.client_rx_mbps(3, 7);
+  const double during = res.client_rx_mbps(11, 17);
+  ASSERT_GT(before, 0.5) << "pre-attack service must exist";
+
+  // §6's outcome table.
+  const bool survives =
+      (attack == AttackType::kSynFlood &&
+       defense != tcp::DefenseMode::kNone) ||
+      (attack == AttackType::kConnFlood &&
+       defense == tcp::DefenseMode::kPuzzles) ||
+      (attack == AttackType::kBogusSolutionFlood);  // never fills the queues
+  if (survives) {
+    EXPECT_GT(during, before * 0.10)
+        << tcp::to_string(defense) << " should survive " << to_string(attack);
+  } else {
+    EXPECT_LT(during, before * 0.35)
+        << tcp::to_string(defense) << " should collapse under "
+        << to_string(attack);
+  }
+
+  // Mode-specific sanity.
+  if (defense == tcp::DefenseMode::kNone) {
+    EXPECT_EQ(c.challenges_sent, 0u);
+    EXPECT_EQ(c.cookies_sent, 0u);
+  }
+  if (defense == tcp::DefenseMode::kSynCookies) {
+    EXPECT_EQ(c.challenges_sent, 0u);
+  }
+  if (defense == tcp::DefenseMode::kPuzzles &&
+      attack != AttackType::kSynFlood && !bots_solve) {
+    // Non-solving flood bots never produce a valid solution; every valid
+    // one comes from the 3 legitimate clients.
+    EXPECT_EQ(c.solutions_valid, c.established_puzzle);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DefenseAttackMatrix,
+    ::testing::Combine(::testing::Values(tcp::DefenseMode::kNone,
+                                         tcp::DefenseMode::kSynCookies,
+                                         tcp::DefenseMode::kPuzzles),
+                       ::testing::Values(AttackType::kSynFlood,
+                                         AttackType::kConnFlood,
+                                         AttackType::kBogusSolutionFlood),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<MatrixParam>& info) {
+      std::string name = tcp::to_string(std::get<0>(info.param));
+      name += "_";
+      name += to_string(std::get<1>(info.param));
+      name += std::get<2>(info.param) ? "_SA" : "_NA";
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace tcpz::sim

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/simulator.hpp"
+#include "net/topology.hpp"
+
+namespace tcpz::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Simulator core
+// ---------------------------------------------------------------------------
+
+TEST(Simulator, ProcessesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::seconds(1), [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, RunUntilAdvancesClockAndStops) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::seconds(1), [&] { ++fired; });
+  sim.schedule_at(SimTime::seconds(5), [&] { ++fired; });
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::seconds(2));
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(SimTime::seconds(1), recurse);
+  };
+  sim.schedule_at(SimTime::zero(), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), SimTime::seconds(4));
+}
+
+TEST(Simulator, SchedulingIntoPastThrows) {
+  Simulator sim;
+  sim.schedule_at(SimTime::seconds(1), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime::zero(), [] {}), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Link: serialization, delay, queue cap
+// ---------------------------------------------------------------------------
+
+class SinkHost {
+ public:
+  SinkHost(Simulator& sim, std::uint32_t addr) : host_(sim, "sink", addr) {
+    host_.set_handler([this](SimTime t, const tcp::Segment&) {
+      arrivals_.push_back(t);
+    });
+  }
+  Host& host() { return host_; }
+  const std::vector<SimTime>& arrivals() const { return arrivals_; }
+
+ private:
+  Host host_;
+  std::vector<SimTime> arrivals_;
+};
+
+tcp::Segment seg_of_size(std::uint32_t payload, std::uint32_t daddr) {
+  tcp::Segment s;
+  s.daddr = daddr;
+  s.flags = tcp::kAck;
+  s.payload_bytes = payload;
+  return s;
+}
+
+TEST(Link, SerializationPlusPropagationDelay) {
+  Simulator sim;
+  SinkHost sink(sim, 42);
+  // 1 Mbps, 10 ms delay: a 1040-byte frame (1000 payload + 40 headers)
+  // serialises in 8.32 ms.
+  Link link(sim, sink.host(), 1e6, SimTime::milliseconds(10), 1 << 20, "l");
+  sim.schedule_at(SimTime::zero(), [&] { link.transmit(seg_of_size(1000, 42)); });
+  sim.run();
+  ASSERT_EQ(sink.arrivals().size(), 1u);
+  EXPECT_NEAR(sink.arrivals()[0].to_seconds(), 0.01832, 1e-5);
+}
+
+TEST(Link, BackToBackPacketsQueueBehindEachOther) {
+  Simulator sim;
+  SinkHost sink(sim, 42);
+  Link link(sim, sink.host(), 1e6, SimTime::zero(), 1 << 20, "l");
+  sim.schedule_at(SimTime::zero(), [&] {
+    link.transmit(seg_of_size(1000, 42));
+    link.transmit(seg_of_size(1000, 42));
+  });
+  sim.run();
+  ASSERT_EQ(sink.arrivals().size(), 2u);
+  const double gap =
+      (sink.arrivals()[1] - sink.arrivals()[0]).to_seconds();
+  EXPECT_NEAR(gap, 1040 * 8.0 / 1e6, 1e-6);  // one serialization time apart
+}
+
+TEST(Link, DropsWhenQueueCapExceeded) {
+  Simulator sim;
+  SinkHost sink(sim, 42);
+  // Each frame is 1040 B and the backlog includes the frame in flight, so a
+  // 2.5 KB queue admits two frames; the third must be dropped.
+  Link link(sim, sink.host(), 1e6, SimTime::zero(), 2500, "l");
+  sim.schedule_at(SimTime::zero(), [&] {
+    link.transmit(seg_of_size(1000, 42));
+    link.transmit(seg_of_size(1000, 42));
+    link.transmit(seg_of_size(1000, 42));
+  });
+  sim.run();
+  EXPECT_EQ(sink.arrivals().size(), 2u);
+  EXPECT_EQ(link.stats().drops, 1u);
+  EXPECT_EQ(link.stats().tx_packets, 2u);
+}
+
+TEST(Link, StatsCountBytes) {
+  Simulator sim;
+  SinkHost sink(sim, 42);
+  Link link(sim, sink.host(), 1e9, SimTime::zero(), 1 << 20, "l");
+  sim.schedule_at(SimTime::zero(), [&] { link.transmit(seg_of_size(60, 42)); });
+  sim.run();
+  EXPECT_EQ(link.stats().tx_bytes, 100u);  // 60 payload + 40 headers
+}
+
+// ---------------------------------------------------------------------------
+// Topology and routing
+// ---------------------------------------------------------------------------
+
+TEST(Topology, RoutesAcrossTriangleBackbone) {
+  Simulator sim;
+  Topology topo(sim);
+  Router* r1 = topo.add_router("r1");
+  Router* r2 = topo.add_router("r2");
+  Router* r3 = topo.add_router("r3");
+  const LinkSpec spec{1e9, SimTime::microseconds(100), 1 << 20};
+  topo.connect(r1, r2, spec);
+  topo.connect(r2, r3, spec);
+  topo.connect(r1, r3, spec);
+
+  Host* a = topo.add_host("a", 100);
+  Host* b = topo.add_host("b", 200);
+  topo.connect(a, r2, spec);
+  topo.connect(b, r3, spec);
+  topo.compute_routes();
+
+  int received = 0;
+  b->set_handler([&](SimTime, const tcp::Segment& s) {
+    EXPECT_EQ(s.daddr, 200u);
+    ++received;
+  });
+  sim.schedule_at(SimTime::zero(), [&] { a->send(seg_of_size(10, 200)); });
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(a->tx_packets(), 1u);
+  EXPECT_EQ(b->rx_packets(), 1u);
+}
+
+TEST(Topology, ShortestPathPreferred) {
+  // a - r1 - r2 - b  and a longer a - r1 - r3 - r2 path: BFS must pick the
+  // two-hop route, observable through the arrival time.
+  Simulator sim;
+  Topology topo(sim);
+  Router* r1 = topo.add_router("r1");
+  Router* r2 = topo.add_router("r2");
+  Router* r3 = topo.add_router("r3");
+  const LinkSpec fast{1e9, SimTime::milliseconds(1), 1 << 20};
+  topo.connect(r1, r2, fast);
+  topo.connect(r1, r3, fast);
+  topo.connect(r3, r2, fast);
+  Host* a = topo.add_host("a", 1);
+  Host* b = topo.add_host("b", 2);
+  topo.connect(a, r1, fast);
+  topo.connect(b, r2, fast);
+  topo.compute_routes();
+
+  SimTime arrival;
+  b->set_handler([&](SimTime t, const tcp::Segment&) { arrival = t; });
+  sim.schedule_at(SimTime::zero(), [&] { a->send(seg_of_size(0, 2)); });
+  sim.run();
+  // 3 hops * 1 ms (+ negligible serialization at 1 Gbps).
+  EXPECT_LT(arrival.to_seconds(), 0.0035);
+  EXPECT_GT(arrival.to_seconds(), 0.0029);
+}
+
+TEST(Topology, UnroutableSpoofedBackscatterDropped) {
+  // Reply to a spoofed source address must die at the router, not crash.
+  Simulator sim;
+  Topology topo(sim);
+  Router* r1 = topo.add_router("r1");
+  Host* a = topo.add_host("a", 1);
+  topo.connect(a, r1, {1e9, SimTime::microseconds(10), 1 << 20});
+  topo.compute_routes();
+  sim.schedule_at(SimTime::zero(), [&] { a->send(seg_of_size(0, 0xdeadbeef)); });
+  sim.run();
+  EXPECT_EQ(r1->unroutable_drops(), 1u);
+}
+
+TEST(Topology, HostIgnoresForeignPackets) {
+  Simulator sim;
+  Topology topo(sim);
+  Host* a = topo.add_host("a", 1);
+  int received = 0;
+  a->set_handler([&](SimTime, const tcp::Segment&) { ++received; });
+  a->deliver(seg_of_size(0, 99));  // not addressed to us
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(a->rx_packets(), 0u);
+}
+
+}  // namespace
+}  // namespace tcpz::net

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include "tcp/options.hpp"
+#include "tcp/segment.hpp"
+
+namespace tcpz::tcp {
+namespace {
+
+Options roundtrip(const Options& in) {
+  Options out;
+  const Bytes wire = encode_options(in);
+  EXPECT_EQ(decode_options(wire, out), DecodeResult::kOk);
+  return out;
+}
+
+TEST(OptionsCodec, EmptyIsEmpty) {
+  const Options o;
+  EXPECT_EQ(o.wire_size(), 0u);
+  EXPECT_EQ(roundtrip(o), o);
+}
+
+TEST(OptionsCodec, StandardSynOptions) {
+  Options o;
+  o.mss = 1460;
+  o.wscale = 7;
+  o.sack_permitted = true;
+  o.ts = TimestampsOption{12345, 0};
+  const Options back = roundtrip(o);
+  EXPECT_EQ(back, o);
+  EXPECT_EQ(o.wire_size() % 4, 0u);
+}
+
+TEST(OptionsCodec, PaddingAlignsTo32Bits) {
+  Options o;
+  o.wscale = 7;  // 3 bytes -> padded to 4
+  EXPECT_EQ(o.wire_size(), 4u);
+  EXPECT_EQ(roundtrip(o), o);
+}
+
+TEST(OptionsCodec, ChallengeBlockWithTimestampsOption) {
+  // T rides in TSval; the challenge block carries no embedded copy (Fig. 4).
+  Options o;
+  o.mss = 1460;
+  o.wscale = 7;
+  o.ts = TimestampsOption{777, 555};
+  ChallengeOption c;
+  c.k = 2;
+  c.m = 17;
+  c.sol_len = 4;
+  c.preimage = {0xde, 0xad, 0xbe, 0xef};
+  o.challenge = c;
+  const Options back = roundtrip(o);
+  EXPECT_EQ(back, o);
+  ASSERT_TRUE(back.challenge.has_value());
+  EXPECT_FALSE(back.challenge->embedded_ts.has_value());
+}
+
+TEST(OptionsCodec, ChallengeBlockWithEmbeddedTimestamp) {
+  Options o;
+  ChallengeOption c;
+  c.k = 1;
+  c.m = 8;
+  c.sol_len = 8;
+  c.embedded_ts = 98765;
+  c.preimage = Bytes(8, 0x5a);
+  o.challenge = c;
+  const Options back = roundtrip(o);
+  ASSERT_TRUE(back.challenge.has_value());
+  EXPECT_EQ(back.challenge->embedded_ts, 98765u);
+  EXPECT_EQ(back.challenge->preimage, c.preimage);
+}
+
+TEST(OptionsCodec, SolutionBlockWithTimestampsOption) {
+  Options o;
+  o.ts = TimestampsOption{100, 99};
+  SolutionOption s;
+  s.mss = 1460;
+  s.wscale = 7;
+  s.solutions = Bytes(8, 0xab);  // k=2, l=4
+  o.solution = s;
+  const Options back = roundtrip(o);
+  ASSERT_TRUE(back.solution.has_value());
+  EXPECT_EQ(back.solution->mss, 1460);
+  EXPECT_EQ(back.solution->wscale, 7);
+  EXPECT_EQ(back.solution->solutions, s.solutions);
+  EXPECT_FALSE(back.solution->embedded_ts.has_value());
+}
+
+TEST(OptionsCodec, SolutionBlockEmbedsTimestampWithoutTsOption) {
+  Options o;
+  SolutionOption s;
+  s.mss = 1400;
+  s.wscale = 5;
+  s.embedded_ts = 424242;
+  s.solutions = Bytes(8, 0xcd);
+  o.solution = s;
+  const Options back = roundtrip(o);
+  ASSERT_TRUE(back.solution.has_value());
+  EXPECT_EQ(back.solution->embedded_ts, 424242u);
+  EXPECT_EQ(back.solution->solutions, s.solutions);
+  EXPECT_EQ(back.solution->mss, 1400);
+}
+
+TEST(OptionsCodec, PaperFig4LayoutIsCompact) {
+  // The paper reports low packet-size overhead: a (k,m,l=4) challenge costs
+  // 12 bytes incl. padding on top of the standard options.
+  Options o;
+  ChallengeOption c;
+  c.k = 2;
+  c.m = 17;
+  c.sol_len = 4;
+  c.preimage = Bytes(4, 1);
+  o.challenge = c;
+  EXPECT_EQ(o.wire_size(), 12u);  // 2 hdr + 3 (k,m,l) + 4 preimage + 3 pad
+}
+
+TEST(OptionsCodec, NashSolutionFitsWithTimestamps) {
+  // k=2, l=4 solution + full timestamp option must fit in 40 bytes.
+  Options o;
+  o.ts = TimestampsOption{1, 2};
+  SolutionOption s;
+  s.mss = 1460;
+  s.wscale = 7;
+  s.solutions = Bytes(8, 0);
+  o.solution = s;
+  EXPECT_LE(o.wire_size(), kMaxOptionsBytes);
+}
+
+TEST(OptionsCodec, MaxKSolutionFitsBarely) {
+  // k=4, l=4, embedded timestamp, no other options: 1+1+2+1+4+16 = 25 -> 28.
+  Options o;
+  SolutionOption s;
+  s.mss = 1460;
+  s.wscale = 7;
+  s.embedded_ts = 5;
+  s.solutions = Bytes(16, 0);
+  o.solution = s;
+  EXPECT_LE(o.wire_size(), kMaxOptionsBytes);
+}
+
+TEST(OptionsCodec, OversizeThrows) {
+  Options o;
+  o.mss = 1460;
+  o.wscale = 7;
+  o.ts = TimestampsOption{1, 2};
+  ChallengeOption c;
+  c.k = 4;
+  c.m = 20;
+  c.sol_len = 32;  // 32-byte pre-image cannot fit
+  c.preimage = Bytes(32, 1);
+  o.challenge = c;
+  EXPECT_THROW((void)encode_options(o), std::length_error);
+}
+
+TEST(OptionsCodec, UnknownOptionsAreSkipped) {
+  // A legacy stack must parse around blocks it does not know. Build a wire
+  // image with an unknown kind 200 option between MSS and wscale.
+  Bytes wire;
+  wire.push_back(kOptMss);
+  wire.push_back(4);
+  put_u16be(wire, 1460);
+  wire.push_back(200);  // unknown kind
+  wire.push_back(6);
+  wire.insert(wire.end(), {1, 2, 3, 4});
+  wire.push_back(kOptWscale);
+  wire.push_back(3);
+  wire.push_back(9);
+  wire.push_back(kOptNop);
+  Options out;
+  ASSERT_EQ(decode_options(wire, out), DecodeResult::kOk);
+  EXPECT_EQ(out.mss, 1460);
+  EXPECT_EQ(out.wscale, 9);
+}
+
+TEST(OptionsCodec, LegacyStackSkipsChallengeBlock) {
+  // Decoding a challenge-bearing SYN-ACK and re-reading only standard fields
+  // is what an unpatched kernel does; both must coexist.
+  Options o;
+  o.mss = 1400;
+  ChallengeOption c;
+  c.k = 1;
+  c.m = 12;
+  c.sol_len = 4;
+  c.preimage = Bytes(4, 7);
+  o.challenge = c;
+  const Bytes wire = encode_options(o);
+  Options decoded;
+  ASSERT_EQ(decode_options(wire, decoded), DecodeResult::kOk);
+  EXPECT_EQ(decoded.mss, 1400);
+  EXPECT_TRUE(decoded.challenge.has_value());
+}
+
+TEST(OptionsCodec, TruncationDetected) {
+  Options o;
+  o.ts = TimestampsOption{1, 2};
+  Bytes wire = encode_options(o);
+  wire.resize(wire.size() - 6);
+  Options out;
+  EXPECT_NE(decode_options(wire, out), DecodeResult::kOk);
+}
+
+TEST(OptionsCodec, BadLengthDetected) {
+  Bytes wire = {kOptMss, 1};  // length < 2 is illegal
+  Options out;
+  EXPECT_EQ(decode_options(wire, out), DecodeResult::kBadLength);
+  wire = {kOptMss, 10, 0, 0};  // runs past the end
+  EXPECT_EQ(decode_options(wire, out), DecodeResult::kBadLength);
+}
+
+TEST(OptionsCodec, ChallengeLengthConsistencyEnforced) {
+  // body must be exactly 3+l or 3+4+l.
+  Bytes wire = {kOptChallenge, 9, 2, 17, 4, 1, 2};  // says l=4, carries 2
+  Options out;
+  EXPECT_EQ(decode_options(wire, out), DecodeResult::kBadLength);
+}
+
+TEST(OptionsCodec, SolutionWithoutTsTooShortRejected) {
+  // No timestamps option and fewer than 4 bytes after MSS/wscale: there is
+  // no room for the embedded timestamp.
+  Bytes wire = {kOptSolution, 7, 5, 0xb4, 7, 1, 2};
+  Options out;
+  EXPECT_EQ(decode_options(wire, out), DecodeResult::kBadLength);
+}
+
+TEST(OptionsCodec, EndOptionStopsParsing) {
+  Bytes wire = {kOptEnd, kOptMss, 4, 5, 0xb4};
+  Options out;
+  ASSERT_EQ(decode_options(wire, out), DecodeResult::kOk);
+  EXPECT_FALSE(out.mss.has_value());
+}
+
+TEST(OptionsCodec, RejectsOver40Bytes) {
+  const Bytes wire(44, kOptNop);
+  Options out;
+  EXPECT_EQ(decode_options(wire, out), DecodeResult::kTooLong);
+}
+
+// ---------------------------------------------------------------------------
+// Segment helpers
+// ---------------------------------------------------------------------------
+
+TEST(Segment, FlagPredicates) {
+  Segment s;
+  s.flags = kSyn;
+  EXPECT_TRUE(s.is_syn());
+  EXPECT_FALSE(s.is_syn_ack());
+  s.flags = kSyn | kAck;
+  EXPECT_TRUE(s.is_syn_ack());
+  EXPECT_FALSE(s.is_syn());
+  EXPECT_FALSE(s.is_ack());
+  s.flags = kAck;
+  EXPECT_TRUE(s.is_ack());
+  s.flags = kRst | kAck;
+  EXPECT_TRUE(s.is_rst());
+}
+
+TEST(Segment, WireSizeCountsHeadersOptionsPayload) {
+  Segment s;
+  EXPECT_EQ(s.wire_size(), 40u);
+  s.payload_bytes = 100;
+  EXPECT_EQ(s.wire_size(), 140u);
+  s.options.mss = 1460;
+  EXPECT_EQ(s.wire_size(), 144u);
+}
+
+TEST(Segment, FlowKeyFromIncoming) {
+  Segment s;
+  s.saddr = 1;
+  s.sport = 2;
+  s.daddr = 3;
+  s.dport = 4;
+  const FlowKey k = FlowKey::from_incoming(s);
+  EXPECT_EQ(k.raddr, 1u);
+  EXPECT_EQ(k.rport, 2);
+  EXPECT_EQ(k.laddr, 3u);
+  EXPECT_EQ(k.lport, 4);
+}
+
+TEST(Segment, Ipv4Helpers) {
+  EXPECT_EQ(ipv4(10, 1, 0, 1), 0x0a010001u);
+  EXPECT_EQ(ip_to_string(ipv4(192, 168, 1, 42)), "192.168.1.42");
+}
+
+TEST(Segment, SummaryMentionsPuzzleBlocks) {
+  Segment s;
+  s.flags = kSyn | kAck;
+  ChallengeOption c;
+  c.k = 1;
+  c.m = 8;
+  c.sol_len = 4;
+  c.preimage = Bytes(4, 0);
+  s.options.challenge = c;
+  EXPECT_NE(s.summary().find("<challenge>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcpz::tcp

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "sim/cpu.hpp"
+#include "sim/devices.hpp"
+#include "sim/scenario.hpp"
+
+namespace tcpz::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CpuModel
+// ---------------------------------------------------------------------------
+
+TEST(CpuModel, SolveDurationIsOpsOverRate) {
+  CpuModel cpu({100'000.0, 4, 1});
+  EXPECT_NEAR(cpu.solve_duration(50'000).to_seconds(), 0.5, 1e-9);
+}
+
+TEST(CpuModel, SerialLaneQueuesJobs) {
+  CpuModel cpu({100'000.0, 4, 1});
+  const SimTime t0 = SimTime::seconds(1);
+  const SimTime e1 = cpu.submit_solve(t0, 100'000);  // 1 s
+  const SimTime e2 = cpu.submit_solve(t0, 100'000);  // queued behind
+  EXPECT_EQ(e1, SimTime::seconds(2));
+  EXPECT_EQ(e2, SimTime::seconds(3));
+  EXPECT_EQ(cpu.busy_lanes(SimTime::seconds(1)), 1);
+  EXPECT_EQ(cpu.pending_jobs(SimTime::milliseconds(1500)), 2);
+  EXPECT_EQ(cpu.pending_jobs(SimTime::milliseconds(2500)), 1);
+}
+
+TEST(CpuModel, ParallelLanesRunConcurrently) {
+  CpuModel cpu({100'000.0, 4, 2});
+  const SimTime t0 = SimTime::zero();
+  const SimTime e1 = cpu.submit_solve(t0, 100'000);
+  const SimTime e2 = cpu.submit_solve(t0, 100'000);
+  EXPECT_EQ(e1, SimTime::seconds(1));
+  EXPECT_EQ(e2, SimTime::seconds(1));
+}
+
+TEST(CpuModel, LanesClampToCores) {
+  CpuModel cpu({1000.0, 2, 8});
+  EXPECT_EQ(cpu.spec().solver_lanes, 2);
+}
+
+TEST(CpuModel, UtilizationReflectsSolving) {
+  // One lane fully busy on a 4-core host = 25%.
+  CpuModel cpu({100'000.0, 4, 1});
+  (void)cpu.submit_solve(SimTime::zero(), 400'000);  // busy 0..4 s
+  const double util =
+      cpu.sample_utilization(SimTime::seconds(1), SimTime::seconds(1));
+  EXPECT_NEAR(util, 0.25, 1e-9);
+}
+
+TEST(CpuModel, UtilizationIncludesChargedWork) {
+  CpuModel cpu({1'000'000.0, 2, 1});
+  cpu.charge_hash_ops(500'000);  // 0.5 core-seconds
+  const double util =
+      cpu.sample_utilization(SimTime::seconds(1), SimTime::seconds(1));
+  EXPECT_NEAR(util, 0.25, 1e-9);  // 0.5 / (1 s * 2 cores)
+  // Charge accumulator drains.
+  EXPECT_NEAR(cpu.sample_utilization(SimTime::seconds(2), SimTime::seconds(1)),
+              0.0, 1e-9);
+}
+
+TEST(CpuModel, UtilizationClampedToOne) {
+  CpuModel cpu({1000.0, 1, 1});
+  cpu.charge_seconds(50.0);
+  EXPECT_DOUBLE_EQ(cpu.sample_utilization(SimTime::seconds(1), SimTime::seconds(1)),
+                   1.0);
+}
+
+TEST(CpuModel, RejectsBadSpec) {
+  EXPECT_THROW(CpuModel({0.0, 4, 1}), std::invalid_argument);
+  EXPECT_THROW(CpuModel({100.0, 0, 1}), std::invalid_argument);
+}
+
+TEST(Devices, FleetAverageMatchesPaperWav) {
+  double sum = 0;
+  for (const auto& d : kClientCpus) sum += d.hash_rate;
+  EXPECT_NEAR(sum / 3.0 * 0.4, 140'630.0, 1.0);
+}
+
+TEST(Devices, IotDevicesAreWeaker) {
+  for (const auto& iot : kIotDevices) {
+    EXPECT_LT(iot.hash_rate, kClientFleetHashRate / 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end scenarios (small timelines; assert dynamics, not absolutes)
+// ---------------------------------------------------------------------------
+
+ScenarioConfig tiny_scenario() {
+  ScenarioConfig cfg;
+  cfg.seed = 7;
+  cfg.duration = SimTime::seconds(30);
+  cfg.attack_start = SimTime::seconds(10);
+  cfg.attack_end = SimTime::seconds(20);
+  cfg.n_clients = 4;
+  cfg.client_rate = 10.0;
+  cfg.response_bytes = 20'000;
+  cfg.n_bots = 4;
+  cfg.bot_rate = 800.0;  // ~10x the accept drain, like the paper's 5000 vs 1100
+  cfg.listen_backlog = 256;
+  cfg.accept_backlog = 256;
+  cfg.service_rate = 300.0;
+  return cfg;
+}
+
+TEST(Scenario, NoAttackBaselineServesEveryone) {
+  ScenarioConfig cfg = tiny_scenario();
+  cfg.n_bots = 0;
+  cfg.defense = tcp::DefenseMode::kNone;
+  const ScenarioResult res = run_scenario(cfg);
+
+  EXPECT_GT(res.client_success_ratio(), 0.98);
+  EXPECT_EQ(res.server.counters.challenges_sent, 0u);
+  // ~4 clients * 10 req/s * 20 KB * 8 = ~6.4 Mbps aggregate.
+  const double mbps = res.client_rx_mbps(5, 10);
+  EXPECT_GT(mbps, 4.0);
+  EXPECT_LT(mbps, 9.0);
+  // Connection times are sub-5ms without puzzles on this topology.
+  EXPECT_LT(res.clients[0].conn_time_ms.quantile(0.9), 5.0);
+}
+
+TEST(Scenario, SynFloodKillsUndefendedServer) {
+  ScenarioConfig cfg = tiny_scenario();
+  cfg.attack = AttackType::kSynFlood;
+  cfg.defense = tcp::DefenseMode::kNone;
+  const ScenarioResult res = run_scenario(cfg);
+
+  const double before = res.client_rx_mbps(5, 10);
+  const double during = res.client_rx_mbps(13, 20);
+  EXPECT_LT(during, before * 0.2) << "SYN flood should deny service";
+  EXPECT_GT(res.server.counters.drops_listen_full, 100u);
+  // Listen queue saturated during the attack window.
+  EXPECT_GE(res.server.listen_queue.max_in(SimTime::seconds(12),
+                                           SimTime::seconds(20)),
+            static_cast<double>(cfg.listen_backlog));
+}
+
+TEST(Scenario, SynCookiesSurviveSynFlood) {
+  ScenarioConfig cfg = tiny_scenario();
+  cfg.attack = AttackType::kSynFlood;
+  cfg.defense = tcp::DefenseMode::kSynCookies;
+  const ScenarioResult res = run_scenario(cfg);
+
+  const double before = res.client_rx_mbps(5, 10);
+  const double during = res.client_rx_mbps(13, 20);
+  EXPECT_GT(during, before * 0.7) << "cookies should absorb a SYN flood";
+  EXPECT_GT(res.server.counters.established_cookie, 0u);
+}
+
+TEST(Scenario, PuzzlesSurviveSynFlood) {
+  ScenarioConfig cfg = tiny_scenario();
+  cfg.attack = AttackType::kSynFlood;
+  cfg.defense = tcp::DefenseMode::kPuzzles;
+  cfg.difficulty = {1, 8};  // easy puzzles suffice for SYN floods (§6.2)
+  const ScenarioResult res = run_scenario(cfg);
+
+  const double before = res.client_rx_mbps(5, 10);
+  const double during = res.client_rx_mbps(13, 20);
+  EXPECT_GT(during, before * 0.6);
+  EXPECT_GT(res.server.counters.challenges_sent, 0u);
+  EXPECT_GT(res.server.counters.established_puzzle, 0u);
+  // Spoofed sources never answer challenges: no bogus solutions verified.
+  EXPECT_EQ(res.server.counters.solutions_invalid, 0u);
+}
+
+TEST(Scenario, ConnFloodDefeatsCookiesButNotPuzzles) {
+  ScenarioConfig base = tiny_scenario();
+  base.attack = AttackType::kConnFlood;
+
+  ScenarioConfig cookies = base;
+  cookies.defense = tcp::DefenseMode::kSynCookies;
+  const ScenarioResult with_cookies = run_scenario(cookies);
+
+  ScenarioConfig puzzles = base;
+  puzzles.defense = tcp::DefenseMode::kPuzzles;
+  puzzles.difficulty = {2, 17};
+  const ScenarioResult with_puzzles = run_scenario(puzzles);
+
+  const double cookie_during = with_cookies.client_rx_mbps(13, 20);
+  const double puzzle_during = with_puzzles.client_rx_mbps(13, 20);
+  const double puzzle_before = with_puzzles.client_rx_mbps(5, 10);
+
+  // Cookies collapse; puzzles retain a sizeable fraction of nominal (the
+  // clients are solve-limited to ~28% of demand at the Nash difficulty).
+  EXPECT_LT(cookie_during, puzzle_during);
+  EXPECT_GT(puzzle_during, puzzle_before * 0.15);
+
+  // Accept queue: saturated under cookies, mostly drained under puzzles
+  // (Fig. 10).
+  const SimTime w0 = SimTime::seconds(14), w1 = SimTime::seconds(20);
+  EXPECT_GE(with_cookies.server.accept_queue.max_in(w0, w1),
+            static_cast<double>(base.accept_backlog));
+  EXPECT_LT(with_puzzles.server.accept_queue.mean_in(w0, w1),
+            static_cast<double>(base.accept_backlog) * 0.5);
+
+  // Attackers' established-connection rate is rate-limited by solving
+  // (Fig. 11).
+  const double cookie_cps = with_cookies.server.attacker_cps(13, 20);
+  const double puzzle_cps = with_puzzles.server.attacker_cps(13, 20);
+  EXPECT_GT(cookie_cps, puzzle_cps * 5.0);
+}
+
+TEST(Scenario, PuzzleCpuCostLandsOnAttackers) {
+  ScenarioConfig cfg = tiny_scenario();
+  cfg.attack = AttackType::kConnFlood;
+  cfg.defense = tcp::DefenseMode::kPuzzles;
+  cfg.difficulty = {2, 17};
+  const ScenarioResult res = run_scenario(cfg);
+
+  const SimTime w0 = SimTime::seconds(12), w1 = SimTime::seconds(20);
+  const double server_cpu = res.server.cpu.mean_in(w0, w1);
+  const double client_cpu = res.mean_client_cpu(w0, w1);
+  const double bot_cpu = res.mean_bot_cpu(w0, w1);
+  // Fig. 9 ordering: server negligible < clients moderate < attackers high.
+  EXPECT_LT(server_cpu, 0.05);
+  EXPECT_GT(bot_cpu, client_cpu);
+  EXPECT_GT(bot_cpu, 0.2);
+}
+
+TEST(Scenario, SolvingClientsKeepServiceUnderNonSolvingAttack) {
+  // Fig. 15 (*A, SC): solving clients vs a non-solving flood.
+  ScenarioConfig cfg = tiny_scenario();
+  cfg.attack = AttackType::kConnFlood;
+  cfg.bots_solve = false;
+  cfg.defense = tcp::DefenseMode::kPuzzles;
+  cfg.difficulty = {2, 17};
+  const ScenarioResult res = run_scenario(cfg);
+
+  // Clients are limited by their serial solver (~2.7 conn/s each of a
+  // 10 req/s demand), so "keeping service" means a solid non-zero fraction.
+  const double during = res.client_rx_mbps(13, 20);
+  const double before = res.client_rx_mbps(5, 10);
+  EXPECT_GT(during, before * 0.15);
+  // Non-solving bots establish almost nothing once protection engages.
+  EXPECT_LT(res.server.attacker_cps(14, 20), 30.0);
+}
+
+TEST(Scenario, BogusSolutionFloodIsRejectedCheaply) {
+  ScenarioConfig cfg = tiny_scenario();
+  cfg.attack = AttackType::kBogusSolutionFlood;
+  cfg.defense = tcp::DefenseMode::kPuzzles;
+  cfg.difficulty = {2, 17};
+  const ScenarioResult res = run_scenario(cfg);
+
+  EXPECT_GT(res.server.counters.solutions_invalid +
+                res.server.counters.solutions_bad_ackno +
+                res.server.counters.acks_ignored_accept_full,
+            100u);
+  EXPECT_EQ(res.server.counters.established_puzzle +
+                res.server.counters.established_cookie,
+            res.server.counters.solutions_valid);
+  // §7: verification overhead stays negligible on the server.
+  EXPECT_LT(res.server.cpu.mean_in(SimTime::seconds(12), SimTime::seconds(20)),
+            0.05);
+}
+
+TEST(Scenario, DeterministicForSeed) {
+  ScenarioConfig cfg = tiny_scenario();
+  cfg.duration = SimTime::seconds(15);
+  cfg.attack_start = SimTime::seconds(5);
+  cfg.attack_end = SimTime::seconds(12);
+  const ScenarioResult a = run_scenario(cfg);
+  const ScenarioResult b = run_scenario(cfg);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.server.counters.established_total,
+            b.server.counters.established_total);
+  EXPECT_EQ(a.clients[0].total_completions, b.clients[0].total_completions);
+}
+
+TEST(Scenario, SeedChangesTrace) {
+  ScenarioConfig cfg = tiny_scenario();
+  cfg.duration = SimTime::seconds(15);
+  cfg.attack_start = SimTime::seconds(5);
+  cfg.attack_end = SimTime::seconds(12);
+  const ScenarioResult a = run_scenario(cfg);
+  cfg.seed = 8;
+  const ScenarioResult b = run_scenario(cfg);
+  EXPECT_NE(a.events_processed, b.events_processed);
+}
+
+}  // namespace
+}  // namespace tcpz::sim

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "crypto/secret.hpp"
+#include "tcp/syncookie.hpp"
+
+namespace tcpz::tcp {
+namespace {
+
+FlowKey flow() { return FlowKey{ipv4(10, 2, 0, 1), 40000, ipv4(10, 1, 0, 1), 80}; }
+
+TEST(SynCookie, RoundTripRecoversMss) {
+  SynCookieCodec codec(crypto::SecretKey::from_seed(1));
+  const std::uint32_t cookie = codec.encode(flow(), 12345, 1460, 1000);
+  const auto mss = codec.decode(flow(), 12345, cookie, 1000);
+  ASSERT_TRUE(mss.has_value());
+  EXPECT_EQ(*mss, 1460);
+}
+
+TEST(SynCookie, MssQuantisedToTable) {
+  SynCookieCodec codec(crypto::SecretKey::from_seed(1));
+  const std::uint32_t cookie = codec.encode(flow(), 1, 1350, 0);
+  const auto mss = codec.decode(flow(), 1, cookie, 0);
+  ASSERT_TRUE(mss.has_value());
+  EXPECT_EQ(*mss, 1300);  // largest table value <= 1350
+}
+
+TEST(SynCookie, MssIndexPicksLargestNotExceeding) {
+  EXPECT_EQ(SynCookieCodec::kMssTable[SynCookieCodec::mss_to_index(536)], 536);
+  EXPECT_EQ(SynCookieCodec::kMssTable[SynCookieCodec::mss_to_index(9000)], 8960);
+  EXPECT_EQ(SynCookieCodec::kMssTable[SynCookieCodec::mss_to_index(100)], 536);
+}
+
+TEST(SynCookie, WrongFlowRejected) {
+  SynCookieCodec codec(crypto::SecretKey::from_seed(1));
+  const std::uint32_t cookie = codec.encode(flow(), 7, 1460, 50);
+  FlowKey other = flow();
+  other.rport++;
+  EXPECT_FALSE(codec.decode(other, 7, cookie, 50).has_value());
+}
+
+TEST(SynCookie, WrongIsnRejected) {
+  SynCookieCodec codec(crypto::SecretKey::from_seed(1));
+  const std::uint32_t cookie = codec.encode(flow(), 7, 1460, 50);
+  EXPECT_FALSE(codec.decode(flow(), 8, cookie, 50).has_value());
+}
+
+TEST(SynCookie, TamperedCookieRejected) {
+  SynCookieCodec codec(crypto::SecretKey::from_seed(1));
+  const std::uint32_t cookie = codec.encode(flow(), 7, 1460, 50);
+  EXPECT_FALSE(codec.decode(flow(), 7, cookie ^ 1, 50).has_value());
+}
+
+TEST(SynCookie, DifferentSecretRejected) {
+  SynCookieCodec a(crypto::SecretKey::from_seed(1));
+  SynCookieCodec b(crypto::SecretKey::from_seed(2));
+  const std::uint32_t cookie = a.encode(flow(), 7, 1460, 50);
+  EXPECT_FALSE(b.decode(flow(), 7, cookie, 50).has_value());
+}
+
+TEST(SynCookie, ValidAcrossOneCounterPeriod) {
+  SynCookieCodec codec(crypto::SecretKey::from_seed(1));
+  const std::uint32_t t0 = 640;  // counter = 10
+  const std::uint32_t cookie = codec.encode(flow(), 7, 1460, t0);
+  EXPECT_TRUE(codec.decode(flow(), 7, cookie, t0 + 63).has_value());
+  EXPECT_TRUE(codec.decode(flow(), 7, cookie,
+                           t0 + SynCookieCodec::kCounterPeriodSec + 10)
+                  .has_value());
+}
+
+TEST(SynCookie, ExpiresAfterTwoCounterPeriods) {
+  SynCookieCodec codec(crypto::SecretKey::from_seed(1));
+  const std::uint32_t t0 = 640;
+  const std::uint32_t cookie = codec.encode(flow(), 7, 1460, t0);
+  EXPECT_FALSE(codec.decode(flow(), 7, cookie,
+                            t0 + 3 * SynCookieCodec::kCounterPeriodSec)
+                   .has_value());
+}
+
+TEST(SynCookie, DistinctFlowsGetDistinctCookies) {
+  SynCookieCodec codec(crypto::SecretKey::from_seed(1));
+  FlowKey f2 = flow();
+  f2.raddr++;
+  EXPECT_NE(codec.encode(flow(), 7, 1460, 50), codec.encode(f2, 7, 1460, 50));
+}
+
+}  // namespace
+}  // namespace tcpz::tcp

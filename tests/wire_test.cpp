@@ -1,0 +1,284 @@
+// Tests for the full-segment wire codec (TCP header + checksum) and the UDP
+// loopback transport, culminating in a real challenged handshake between
+// two threads over actual sockets with real SHA-256 puzzle solving.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "crypto/secret.hpp"
+#include "puzzle/engine.hpp"
+#include "shim/udp_transport.hpp"
+#include "tcp/connector.hpp"
+#include "tcp/listener.hpp"
+#include "tcp/wire.hpp"
+#include "util/rng.hpp"
+
+namespace tcpz::tcp {
+namespace {
+
+Segment sample_segment() {
+  Segment s;
+  s.saddr = ipv4(10, 2, 0, 1);
+  s.daddr = ipv4(10, 1, 0, 1);
+  s.sport = 40'000;
+  s.dport = 80;
+  s.seq = 0x12345678;
+  s.ack = 0x9abcdef0;
+  s.flags = kSyn | kAck;
+  s.window = 29'200;
+  s.payload_bytes = 777;
+  s.options.mss = 1460;
+  s.options.wscale = 7;
+  s.options.ts = TimestampsOption{111, 222};
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Internet checksum
+// ---------------------------------------------------------------------------
+
+TEST(InternetChecksum, Rfc1071Example) {
+  // The classic example: 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d.
+  const Bytes data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, OddLengthHandled) {
+  const Bytes data = {0x01, 0x02, 0x03};
+  // 0x0102 + 0x0300 = 0x0402 -> ~ = 0xfbfd.
+  EXPECT_EQ(internet_checksum(data), 0xfbfd);
+}
+
+TEST(InternetChecksum, ZeroForComplementedData) {
+  Bytes data = {0x12, 0x34, 0x56, 0x78};
+  const std::uint16_t csum = internet_checksum(data);
+  data.push_back(static_cast<std::uint8_t>(csum >> 8));
+  data.push_back(static_cast<std::uint8_t>(csum));
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Segment codec
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, RoundTripPreservesEverything) {
+  const Segment s = sample_segment();
+  const Bytes wire = encode_segment(s);
+  const auto result = decode_segment(wire);
+  ASSERT_TRUE(result.segment.has_value()) << to_string(*result.error);
+  const Segment& d = *result.segment;
+  EXPECT_EQ(d.saddr, s.saddr);
+  EXPECT_EQ(d.daddr, s.daddr);
+  EXPECT_EQ(d.sport, s.sport);
+  EXPECT_EQ(d.dport, s.dport);
+  EXPECT_EQ(d.seq, s.seq);
+  EXPECT_EQ(d.ack, s.ack);
+  EXPECT_EQ(d.flags, s.flags);
+  EXPECT_EQ(d.window, s.window);
+  EXPECT_EQ(d.payload_bytes, s.payload_bytes);
+  EXPECT_EQ(d.options, s.options);
+}
+
+TEST(WireCodec, RoundTripWithPuzzleBlocks) {
+  Segment s = sample_segment();
+  ChallengeOption c;
+  c.k = 2;
+  c.m = 17;
+  c.sol_len = 4;
+  c.preimage = {1, 2, 3, 4};
+  s.options.challenge = c;
+  const auto result = decode_segment(encode_segment(s));
+  ASSERT_TRUE(result.segment.has_value());
+  EXPECT_EQ(result.segment->options, s.options);
+}
+
+TEST(WireCodec, HeaderLengthEncodesOptions) {
+  Segment s = sample_segment();  // 12 bytes of options
+  const Bytes wire = encode_segment(s);
+  const std::uint8_t data_off = wire[kWirePreambleSize + 12] >> 4;
+  EXPECT_EQ(data_off * 4u, kTcpHeaderSize + s.options.wire_size());
+}
+
+TEST(WireCodec, AnyBitFlipIsDetected) {
+  const Segment s = sample_segment();
+  const Bytes wire = encode_segment(s);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    Bytes bad = wire;
+    const std::size_t byte = rng.uniform_u64(bad.size());
+    bad[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_u64(8));
+    const auto result = decode_segment(bad);
+    if (result.segment.has_value()) {
+      // A flip in the preamble's payload length is outside the TCP checksum;
+      // everything else must be caught.
+      EXPECT_TRUE(byte >= 8 && byte < 12)
+          << "undetected flip at byte " << byte;
+    }
+  }
+}
+
+TEST(WireCodec, TruncationRejected) {
+  const Bytes wire = encode_segment(sample_segment());
+  for (std::size_t cut = 0; cut < kWirePreambleSize + kTcpHeaderSize; ++cut) {
+    const auto result = decode_segment(
+        std::span<const std::uint8_t>(wire.data(), cut));
+    EXPECT_FALSE(result.segment.has_value());
+    EXPECT_EQ(result.error, WireDecodeError::kTruncated);
+  }
+}
+
+TEST(WireCodec, BadDataOffsetRejected) {
+  Bytes wire = encode_segment(sample_segment());
+  wire[kWirePreambleSize + 12] = 0xf0;  // claims 60-byte header
+  EXPECT_EQ(decode_segment(wire).error, WireDecodeError::kBadDataOffset);
+  wire[kWirePreambleSize + 12] = 0x10;  // claims 4-byte header (< minimum)
+  EXPECT_EQ(decode_segment(wire).error, WireDecodeError::kBadDataOffset);
+}
+
+TEST(WireCodec, ChecksumCoversAddresses) {
+  // The pseudo-header binds the addresses: rewriting saddr must invalidate.
+  Bytes wire = encode_segment(sample_segment());
+  wire[0] ^= 0x01;
+  EXPECT_EQ(decode_segment(wire).error, WireDecodeError::kBadChecksum);
+}
+
+}  // namespace
+}  // namespace tcpz::tcp
+
+namespace tcpz::shim {
+namespace {
+
+using namespace tcpz::tcp;
+
+TEST(UdpTransport, BindsEphemeralPort) {
+  UdpTransport t(0);
+  EXPECT_GT(t.bound_port(), 0);
+}
+
+TEST(UdpTransport, SendRecvRoundTrip) {
+  UdpTransport a(0), b(0);
+  constexpr std::uint32_t kAddrB = ipv4(10, 9, 9, 9);
+  a.add_route(kAddrB, b.bound_port());
+
+  Segment s;
+  s.saddr = ipv4(10, 8, 8, 8);
+  s.daddr = kAddrB;
+  s.sport = 1;
+  s.dport = 2;
+  s.flags = kSyn;
+  s.options.mss = 1400;
+  ASSERT_TRUE(a.send(s));
+
+  const auto got = b.recv(2000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->daddr, kAddrB);
+  EXPECT_EQ(got->options.mss, 1400);
+  EXPECT_EQ(a.stats().tx_datagrams, 1u);
+  EXPECT_EQ(b.stats().rx_datagrams, 1u);
+}
+
+TEST(UdpTransport, UnroutableCounted) {
+  UdpTransport a(0);
+  Segment s;
+  s.daddr = 12345;
+  EXPECT_FALSE(a.send(s));
+  EXPECT_EQ(a.stats().unroutable, 1u);
+}
+
+TEST(UdpTransport, RecvTimesOut) {
+  UdpTransport a(0);
+  EXPECT_FALSE(a.recv(10).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// The headline shim test: a real challenged handshake between two threads
+// over loopback UDP, with genuine SHA-256 brute-force solving.
+// ---------------------------------------------------------------------------
+
+TEST(UdpTransport, RealPuzzleHandshakeOverLoopback) {
+  constexpr std::uint32_t kServerAddr = ipv4(10, 1, 0, 1);
+  constexpr std::uint32_t kClientAddr = ipv4(10, 2, 0, 1);
+
+  const auto secret = crypto::SecretKey::from_seed(77);
+  puzzle::EngineConfig ecfg;
+  ecfg.sol_len = 4;
+  ecfg.expiry_ms = 60'000;
+  auto engine = std::make_shared<puzzle::Sha256PuzzleEngine>(secret, ecfg);
+
+  UdpTransport server_net(0), client_net(0);
+  server_net.add_route(kClientAddr, client_net.bound_port());
+  client_net.add_route(kServerAddr, server_net.bound_port());
+
+  std::atomic<bool> server_ok{false};
+
+  std::thread server_thread([&] {
+    tcp::ListenerConfig lcfg;
+    lcfg.local_addr = kServerAddr;
+    lcfg.local_port = 80;
+    lcfg.mode = tcp::DefenseMode::kPuzzles;
+    lcfg.always_challenge = true;
+    lcfg.difficulty = {2, 10};
+    tcp::Listener listener(lcfg, secret, 1, engine);
+
+    const auto started = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - started <
+           std::chrono::seconds(10)) {
+      const auto seg = server_net.recv(50);
+      const auto now = SimTime::from_seconds(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count());
+      if (seg) {
+        for (const auto& out : listener.on_segment(now, *seg)) {
+          (void)server_net.send(out);
+        }
+      }
+      if (listener.accept(now)) {
+        server_ok = true;
+        return;
+      }
+    }
+  });
+
+  tcp::ConnectorConfig ccfg;
+  ccfg.local_addr = kClientAddr;
+  ccfg.local_port = 40'000;
+  ccfg.remote_addr = kServerAddr;
+  ccfg.remote_port = 80;
+  tcp::Connector connector(ccfg, 9);
+
+  bool client_established = false;
+  const auto started = std::chrono::steady_clock::now();
+  auto out = connector.start(SimTime::zero());
+  for (const auto& seg : out.segments) (void)client_net.send(seg);
+
+  while (!client_established &&
+         std::chrono::steady_clock::now() - started <
+             std::chrono::seconds(10)) {
+    const auto seg = client_net.recv(50);
+    if (!seg) continue;
+    const auto now = SimTime::from_seconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count());
+    out = connector.on_segment(now, *seg);
+    if (out.solve) {
+      Rng rng(5);
+      std::uint64_t ops = 0;
+      const auto sol =
+          engine->solve(*out.solve, connector.flow_binding(), rng, ops);
+      EXPECT_GT(ops, 0u);
+      out = connector.on_solved(now, sol);
+    }
+    for (const auto& seg2 : out.segments) (void)client_net.send(seg2);
+    client_established = out.established;
+  }
+
+  server_thread.join();
+  EXPECT_TRUE(client_established);
+  EXPECT_TRUE(server_ok.load());
+}
+
+}  // namespace
+}  // namespace tcpz::shim
