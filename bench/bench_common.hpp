@@ -4,11 +4,18 @@
 // aligned columns, and (2) a set of PASS/FAIL shape checks against the
 // paper's qualitative claims. Default runs use the scaled timeline
 // (ScenarioConfig::scaled()); pass --full for paper-scale durations.
+//
+// finish() also writes BENCH_<artifact>.json into the working directory —
+// the shape checks plus any metric() values, machine-readable so CI can
+// track the perf/fidelity trajectory across commits.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/scenario.hpp"
 
@@ -30,20 +37,70 @@ inline Args parse(int argc, char** argv) {
   return args;
 }
 
+inline std::string g_artifact;                               // NOLINT
+inline std::vector<std::pair<std::string, bool>> g_checks;   // NOLINT
+inline std::vector<std::pair<std::string, double>> g_metrics;  // NOLINT
+inline int g_failures = 0;                                   // NOLINT
+
 inline void header(const char* artifact, const char* claim) {
+  g_artifact = artifact;
   std::printf("\n=== %s ===\n", artifact);
   std::printf("paper claim: %s\n\n", claim);
 }
 
-inline int g_failures = 0;
-
 inline bool check(const char* what, bool ok) {
   std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what);
+  g_checks.emplace_back(what, ok);
   if (!ok) ++benchutil::g_failures;
   return ok;
 }
 
+/// Records a named scalar for the JSON report (and echoes it).
+inline double metric(const char* name, double value) {
+  std::printf("metric %-40s %.6g\n", name, value);
+  g_metrics.emplace_back(name, value);
+  return value;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// BENCH_<artifact>.json: {"artifact", "failures", "checks", "metrics"}.
+inline void write_json_report() {
+  if (g_artifact.empty()) return;
+  std::string fname = "BENCH_";
+  for (const char c : g_artifact) {
+    fname.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  fname += ".json";
+  std::FILE* f = std::fopen(fname.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"artifact\": \"%s\",\n  \"failures\": %d,\n",
+               json_escape(g_artifact).c_str(), g_failures);
+  std::fprintf(f, "  \"checks\": {");
+  for (std::size_t i = 0; i < g_checks.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %s", i ? "," : "",
+                 json_escape(g_checks[i].first).c_str(),
+                 g_checks[i].second ? "true" : "false");
+  }
+  std::fprintf(f, "\n  },\n  \"metrics\": {");
+  for (std::size_t i = 0; i < g_metrics.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %.9g", i ? "," : "",
+                 json_escape(g_metrics[i].first).c_str(), g_metrics[i].second);
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+}
+
 inline int finish() {
+  write_json_report();
   if (g_failures == 0) {
     std::printf("\nall shape checks passed\n");
   } else {

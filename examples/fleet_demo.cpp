@@ -1,0 +1,81 @@
+// Fleet quickstart: a 4-replica puzzle-protected cluster behind an L4 load
+// balancer rides out a connection flood while one replica fails mid-attack
+// and the fleet rotates its shared puzzle secret twice.
+//
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/example_fleet_demo
+//
+// The printout walks through what the paper's statelessness property buys a
+// cluster: challenges minted by one replica verify on any other, so the
+// balancer can move flows freely (failover, rebalancing) and the secret can
+// rotate without dropping clients.
+#include <cstdio>
+
+#include "fleet/scenario.hpp"
+
+using namespace tcpz;
+
+int main() {
+  fleet::FleetScenarioConfig f;
+  f.base = sim::ScenarioConfig{}.scaled();  // 120 s run, attack 30-80 s
+  f.base.attack = sim::AttackType::kConnFlood;
+  f.base.bots_solve = false;  // classic flood tool: ignores challenges
+  f.base.defense = tcp::DefenseMode::kPuzzles;
+  f.n_replicas = 4;
+  f.divide_capacity = false;  // scale-out: each replica a full §6 server
+  f.policy = fleet::BalancePolicy::kRoundRobin;
+  f.rotation_interval = SimTime::seconds(40);
+  f.rotation_overlap = SimTime::seconds(8);
+  // Replica 2 dies in the middle of the attack and comes back a little later.
+  f.events = {{SimTime::seconds(50), 2, false}, {SimTime::seconds(70), 2, true}};
+
+  std::printf("running a %d-replica %s fleet under a %.0f pps connection "
+              "flood (attack %s-%s)...\n",
+              f.n_replicas, to_string(f.policy),
+              f.base.bot_rate * f.base.n_bots,
+              f.base.attack_start.to_string().c_str(),
+              f.base.attack_end.to_string().c_str());
+
+  const fleet::FleetResult r = fleet::run_fleet_scenario(f);
+
+  const std::size_t atk_lo = f.base.attack_start_bin() + 5;
+  const std::size_t atk_hi = f.base.attack_end_bin() - 1;
+
+  std::printf("\nper-replica outcome:\n");
+  std::printf("%-9s %12s %14s %14s %12s\n", "replica", "established",
+              "via puzzles", "challenges", "rotations");
+  for (std::size_t i = 0; i < r.replicas.size(); ++i) {
+    const auto& c = r.replicas[i].counters;
+    std::printf("%-9zu %12llu %14llu %14llu %12llu\n", i,
+                static_cast<unsigned long long>(c.established_total),
+                static_cast<unsigned long long>(c.established_puzzle),
+                static_cast<unsigned long long>(c.challenges_sent),
+                static_cast<unsigned long long>(c.secret_rotations));
+  }
+
+  std::printf("\ncluster:\n");
+  std::printf("  client wire success in the attack window : %.1f%%\n",
+              r.client_wire_success_pct(atk_lo, atk_hi));
+  std::printf("  flood connections leaked (attack window)  : %.2f /s\n",
+              r.attacker_cps(atk_lo, atk_hi));
+  std::printf("  secret rotations                          : %llu\n",
+              static_cast<unsigned long long>(r.secret_rotations));
+  std::printf("  solutions honored from the previous epoch : %llu\n",
+              static_cast<unsigned long long>(
+                  r.cluster.solutions_valid_prev_epoch));
+  std::printf("  flows disrupted by the failover           : %llu\n",
+              static_cast<unsigned long long>(r.lb.failover_evictions));
+  std::printf("  cluster-replay rejections                 : %llu\n",
+              static_cast<unsigned long long>(
+                  r.cluster.solutions_replay_filtered));
+  std::printf("  simulated events                          : %llu (%.1f s wall)\n",
+              static_cast<unsigned long long>(r.events_processed),
+              r.wall_seconds);
+
+  std::printf(
+      "\ntakeaway: stateless challenge/verify means any replica can admit a\n"
+      "solution minted against any other replica's challenge — failover and\n"
+      "secret rotation are invisible to solving clients, while the flood\n"
+      "stays locked out.\n");
+  return 0;
+}

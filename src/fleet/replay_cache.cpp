@@ -1,0 +1,31 @@
+#include "fleet/replay_cache.hpp"
+
+namespace tcpz::fleet {
+
+void ReplayCache::expire(std::uint32_t now_ms) {
+  while (!order_.empty() && order_.front().first + ttl_ms_ < now_ms) {
+    const auto& [inserted, key] = order_.front();
+    // Only erase if the map still holds this insertion (it always does —
+    // keys are never re-inserted while present).
+    if (const auto it = entries_.find(key);
+        it != entries_.end() && it->second == inserted) {
+      entries_.erase(it);
+    }
+    order_.pop_front();
+  }
+}
+
+bool ReplayCache::check_and_insert(const tcp::FlowKey& flow, std::uint32_t ts,
+                                   std::uint32_t now_ms) {
+  expire(now_ms);
+  const Key key{flow, ts};
+  if (entries_.contains(key)) {
+    ++hits_;
+    return true;
+  }
+  entries_.emplace(key, now_ms);
+  order_.push_back({now_ms, key});
+  return false;
+}
+
+}  // namespace tcpz::fleet

@@ -1,0 +1,59 @@
+// Cluster-shared solution-replay cache.
+//
+// A single replica rejects replays for free: an admitted flow sits in its
+// established map, so a second copy of the same solution ACK is a duplicate.
+// Pure statelessness cannot extend that across replicas — a valid solution
+// replayed at a *different* replica re-verifies there. This cache is the
+// deliberate, bounded trade the fleet makes: one check-and-insert per
+// admitted solution, keyed by (flow, challenge timestamp), shared by every
+// replica (in production: a small entry broadcast on the secret-distribution
+// channel). Memory is bounded because entries are useless — and evicted —
+// once the challenge itself has expired, so the cache holds at most
+// (admission rate x puzzle expiry window) entries no matter how long the
+// flood runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "tcp/segment.hpp"
+
+namespace tcpz::fleet {
+
+class ReplayCache {
+ public:
+  /// `ttl_ms` should be the puzzle expiry window plus clock slack: entries
+  /// older than that cannot verify anywhere, so keeping them is pointless.
+  explicit ReplayCache(std::uint32_t ttl_ms) : ttl_ms_(ttl_ms) {}
+
+  /// True if (flow, ts) was already admitted somewhere in the fleet;
+  /// otherwise records it and returns false. `now_ms` drives expiry.
+  bool check_and_insert(const tcp::FlowKey& flow, std::uint32_t ts,
+                        std::uint32_t now_ms);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+
+ private:
+  struct Key {
+    tcp::FlowKey flow;
+    std::uint32_t ts = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return tcp::FlowKeyHash{}(k.flow) ^
+             (static_cast<std::size_t>(k.ts) * 0x9e3779b97f4a7c15ull);
+    }
+  };
+
+  void expire(std::uint32_t now_ms);
+
+  std::uint32_t ttl_ms_;
+  std::unordered_map<Key, std::uint32_t, KeyHash> entries_;  ///< -> insert time
+  std::deque<std::pair<std::uint32_t, Key>> order_;          ///< FIFO by insert time
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace tcpz::fleet

@@ -1,0 +1,118 @@
+// Fleet-scale experiment scenarios: the §6 workload and Fig. 16 edge
+// topology, but with the single protected server replaced by an L4 load
+// balancer fronting a fleet of replicas that share (and rotate) the puzzle
+// secret through a SecretDirectory.
+//
+// New scenario axes this opens over sim::run_scenario:
+//  * replica count and balancing policy (round-robin / 5-tuple hash /
+//    least-connections) under SYN-, connection- and solution-floods;
+//  * per-replica defense modes — the Fig. 15 partial-adoption study at the
+//    fleet level (one legacy replica in an otherwise patched fleet is the
+//    hole the flood pours through);
+//  * mid-attack replica failure and recovery, exercising cross-replica
+//    stateless verification: a solution minted against a dead replica's
+//    challenge is accepted by whichever replica inherits the flow;
+//  * secret rotation with a verify-overlap window, plus a cluster-wide
+//    replay cache.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/load_balancer.hpp"
+#include "sim/scenario.hpp"
+#include "tcp/listener.hpp"
+
+namespace tcpz::fleet {
+
+/// A replica health transition at a point in simulated time.
+struct ReplicaEvent {
+  SimTime at;
+  int replica = 0;
+  bool up = false;
+};
+
+struct FleetScenarioConfig {
+  /// Workload, attack, per-server knobs and network of the §6 experiment.
+  /// base.defense is the default mode for every replica; base.server_link_bps
+  /// is the per-replica link speed.
+  sim::ScenarioConfig base;
+
+  int n_replicas = 4;
+  BalancePolicy policy = BalancePolicy::kFiveTupleHash;
+
+  /// Per-replica defense override (partial adoption); empty = base.defense
+  /// everywhere. Size must equal n_replicas when non-empty.
+  std::vector<tcp::DefenseMode> replica_modes;
+
+  /// Replica failure/recovery schedule (applied through the balancer's
+  /// health state; a down replica is partitioned, not rebooted).
+  std::vector<ReplicaEvent> events;
+
+  /// Secret rotation cadence; zero keeps the paper's static per-socket
+  /// secret. The overlap window keeps the outgoing epoch verifiable.
+  SimTime rotation_interval = SimTime::zero();
+  SimTime rotation_overlap = SimTime::seconds(8);
+
+  /// Cluster-wide replay cache (rejects a valid solution replayed at a
+  /// different replica; single-replica replays are already rejected
+  /// statefully).
+  bool shared_replay_cache = true;
+
+  /// Split base.n_workers and base.service_rate evenly across replicas so
+  /// cluster capacity matches the single-server scenario (an apples-to-apples
+  /// scale-out). False gives every replica the full base capacity.
+  bool divide_capacity = true;
+
+  /// Balancer knobs.
+  double lb_uplink_bps = 10e9;  ///< VIP-side link; default out of the way
+  SimTime lb_flow_idle_timeout = SimTime::seconds(30);
+
+  /// Same rates on the short timeline (see sim::ScenarioConfig::scaled).
+  [[nodiscard]] FleetScenarioConfig scaled() const {
+    FleetScenarioConfig c = *this;
+    c.base = c.base.scaled();
+    return c;
+  }
+};
+
+struct LoadBalancerReport {
+  std::vector<BackendStats> backends;
+  std::uint64_t no_backend_drops = 0;
+  /// Tracked flows evicted by backend failures (see
+  /// LoadBalancer::failover_evictions).
+  std::uint64_t failover_evictions = 0;
+};
+
+struct FleetResult {
+  std::vector<sim::ServerReport> replicas;
+  std::vector<sim::HostReport> clients;
+  std::vector<sim::HostReport> bots;
+  LoadBalancerReport lb;
+  tcp::ListenerCounters cluster;  ///< summed over replicas
+  std::uint64_t secret_rotations = 0;
+  std::uint64_t replay_cache_hits = 0;
+  std::uint64_t events_processed = 0;
+  double wall_seconds = 0;
+
+  [[nodiscard]] double client_success_ratio() const;
+  /// Percentage of client wire attempts in bins [from, to) that completed a
+  /// request. Attempts the local solver refused before any packet was sent
+  /// are excluded from the denominator, as in the paper's "% of connections
+  /// established" (Figs. 13b, 15).
+  [[nodiscard]] double client_wire_success_pct(std::size_t from,
+                                               std::size_t to) const;
+  [[nodiscard]] double client_rx_mbps(std::size_t from, std::size_t to) const;
+  /// Cluster-wide flood leakage: attacker connections established per second
+  /// over bins [from, to).
+  [[nodiscard]] double attacker_cps(std::size_t from, std::size_t to) const;
+  /// Same, for one replica — the per-replica leakage the partial-adoption
+  /// scenarios compare.
+  [[nodiscard]] double replica_attacker_cps(std::size_t replica,
+                                            std::size_t from,
+                                            std::size_t to) const;
+};
+
+[[nodiscard]] FleetResult run_fleet_scenario(const FleetScenarioConfig& cfg);
+
+}  // namespace tcpz::fleet

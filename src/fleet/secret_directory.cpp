@@ -1,0 +1,55 @@
+#include "fleet/secret_directory.hpp"
+
+#include <algorithm>
+
+namespace tcpz::fleet {
+
+crypto::SecretKey SecretDirectory::derive(std::uint64_t seed,
+                                          std::uint32_t epoch) {
+  // Distinct, deterministic per-epoch keys. The odd multiplier keeps epoch
+  // seeds far apart in the from_seed input space.
+  return crypto::SecretKey::from_seed(
+      seed ^ (static_cast<std::uint64_t>(epoch) * 0x9e3779b97f4a7c15ull + epoch));
+}
+
+SecretDirectory::SecretDirectory(SecretDirectoryConfig cfg)
+    : cfg_(cfg),
+      secret_(derive(cfg_.seed, 0)),
+      engine_(std::make_shared<puzzle::OraclePuzzleEngine>(secret_,
+                                                           cfg_.engine)) {
+  if (cfg_.rotation_interval > SimTime::zero()) {
+    cfg_.overlap = std::min(
+        cfg_.overlap, SimTime::nanoseconds(cfg_.rotation_interval.nanos() / 2));
+  }
+}
+
+void SecretDirectory::subscribe(tcp::Listener* listener) {
+  subscribers_.push_back(listener);
+}
+
+void SecretDirectory::rotate() {
+  ++epoch_;
+  secret_ = derive(cfg_.seed, epoch_);
+  engine_ = std::make_shared<puzzle::OraclePuzzleEngine>(secret_, cfg_.engine);
+  for (tcp::Listener* l : subscribers_) l->rotate_secret(secret_, engine_);
+}
+
+void SecretDirectory::expire_overlap() {
+  for (tcp::Listener* l : subscribers_) l->drop_previous_secret();
+}
+
+void SecretDirectory::rotation_loop(net::Simulator& sim, SimTime until) {
+  sim.schedule_in(cfg_.rotation_interval, [this, &sim, until] {
+    if (sim.now() >= until) return;
+    rotate();
+    sim.schedule_in(cfg_.overlap, [this] { expire_overlap(); });
+    rotation_loop(sim, until);
+  });
+}
+
+void SecretDirectory::start(net::Simulator& sim, SimTime until) {
+  if (cfg_.rotation_interval <= SimTime::zero()) return;
+  rotation_loop(sim, until);
+}
+
+}  // namespace tcpz::fleet

@@ -1,0 +1,87 @@
+// Fleet-wide secret distribution and rotation.
+//
+// The paper generates the puzzle secret once per listening socket (§5). A
+// fleet cannot: cross-replica verification requires every replica to hold
+// the *same* secret, and a long-lived shared secret is a bigger compromise
+// target, so production deployments rotate it. The directory is the (in
+// simulation: synchronous and loss-free) control-plane that does both:
+//
+//  * epoch e's secret is derived deterministically from (seed, e), so a
+//    scenario replays bit-identically;
+//  * rotate() pushes the next epoch to every subscribed listener, whose
+//    outgoing secret remains verifiable for an *overlap window* — a client
+//    that solved a challenge minted seconds before the rotation must not be
+//    punished for the fleet's key hygiene;
+//  * after the overlap, drop_previous_secret() makes old-epoch solutions
+//    dead everywhere at once.
+//
+// The directory also hands out the current epoch's puzzle engine for
+// listener construction and rotation pushes. Client agents do NOT need it:
+// oracle solutions derive from the challenge bytes alone (DESIGN.md,
+// Substitutions), so any engine instance solves any epoch's challenges —
+// exactly like a real brute-force solver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/secret.hpp"
+#include "net/simulator.hpp"
+#include "puzzle/engine.hpp"
+#include "tcp/listener.hpp"
+#include "util/time.hpp"
+
+namespace tcpz::fleet {
+
+struct SecretDirectoryConfig {
+  std::uint64_t seed = 1;
+  /// Zero = static secret (paper behaviour); start() then schedules nothing.
+  SimTime rotation_interval = SimTime::zero();
+  /// How long the previous epoch keeps verifying after a rotation. Clamped
+  /// below rotation_interval so at most two epochs are ever live.
+  SimTime overlap = SimTime::seconds(8);
+  puzzle::EngineConfig engine;
+};
+
+class SecretDirectory {
+ public:
+  explicit SecretDirectory(SecretDirectoryConfig cfg);
+
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint64_t rotations() const { return epoch_; }
+  [[nodiscard]] const crypto::SecretKey& current_secret() const {
+    return secret_;
+  }
+  [[nodiscard]] std::shared_ptr<const puzzle::PuzzleEngine> current_engine()
+      const {
+    return engine_;
+  }
+
+  /// Future rotations are pushed to this listener. The listener must have
+  /// been constructed with current_secret()/current_engine().
+  void subscribe(tcp::Listener* listener);
+
+  /// Advance to the next epoch now: derive the new secret, push it to every
+  /// subscriber. The outgoing epoch stays verifiable until expire_overlap().
+  void rotate();
+  /// Ends the overlap window on every subscriber.
+  void expire_overlap();
+
+  /// Schedules periodic rotation (and the matching overlap expiries) on the
+  /// simulator until `until`. No-op when rotation_interval is zero.
+  void start(net::Simulator& sim, SimTime until);
+
+ private:
+  [[nodiscard]] static crypto::SecretKey derive(std::uint64_t seed,
+                                                std::uint32_t epoch);
+  void rotation_loop(net::Simulator& sim, SimTime until);
+
+  SecretDirectoryConfig cfg_;
+  std::uint32_t epoch_ = 0;
+  crypto::SecretKey secret_;
+  std::shared_ptr<const puzzle::PuzzleEngine> engine_;
+  std::vector<tcp::Listener*> subscribers_;
+};
+
+}  // namespace tcpz::fleet

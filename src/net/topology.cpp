@@ -6,11 +6,13 @@
 
 namespace tcpz::net {
 
-Host* Topology::add_host(const std::string& name, std::uint32_t addr) {
+Host* Topology::add_host(const std::string& name, std::uint32_t addr,
+                         bool advertise) {
   auto host = std::make_unique<Host>(sim_, name, addr);
   Host* ptr = host.get();
   nodes_.push_back(std::move(host));
   hosts_.push_back(ptr);
+  if (advertise) advertised_.push_back({nodes_.size() - 1, addr});
   return ptr;
 }
 
@@ -21,12 +23,30 @@ Router* Topology::add_router(const std::string& name) {
   return ptr;
 }
 
-void Topology::connect(Node* a, Node* b, const LinkSpec& spec) {
-  std::size_t ia = nodes_.size(), ib = nodes_.size();
+Node* Topology::add_node(std::unique_ptr<Node> node) {
+  Node* ptr = node.get();
+  nodes_.push_back(std::move(node));
+  return ptr;
+}
+
+std::size_t Topology::index_of(const Node* node) const {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].get() == a) ia = i;
-    if (nodes_[i].get() == b) ib = i;
+    if (nodes_[i].get() == node) return i;
   }
+  return nodes_.size();
+}
+
+void Topology::advertise(Node* node, std::uint32_t addr) {
+  const std::size_t idx = index_of(node);
+  if (idx == nodes_.size()) {
+    throw std::invalid_argument("Topology::advertise: unknown node");
+  }
+  advertised_.push_back({idx, addr});
+}
+
+std::pair<Link*, Link*> Topology::connect(Node* a, Node* b,
+                                          const LinkSpec& spec) {
+  const std::size_t ia = index_of(a), ib = index_of(b);
   if (ia == nodes_.size() || ib == nodes_.size()) {
     throw std::invalid_argument("Topology::connect: unknown node");
   }
@@ -38,8 +58,11 @@ void Topology::connect(Node* a, Node* b, const LinkSpec& spec) {
                                    b->name() + "->" + a->name());
   edges_.push_back({ia, ib, ab.get()});
   edges_.push_back({ib, ia, ba.get()});
+  Link* fwd = ab.get();
+  Link* rev = ba.get();
   links_.push_back(std::move(ab));
   links_.push_back(std::move(ba));
+  return {fwd, rev};
 }
 
 void Topology::compute_routes() {
@@ -57,6 +80,10 @@ void Topology::compute_routes() {
     }
   }
 
+  // Route targets: every advertised (node, address) pair.
+  std::vector<std::vector<std::uint32_t>> addrs_at(n);
+  for (const auto& [idx, addr] : advertised_) addrs_at[idx].push_back(addr);
+
   // BFS from each source; record the first-hop link toward every node.
   for (std::size_t src = 0; src < n; ++src) {
     std::vector<Link*> first_hop(n, nullptr);
@@ -73,11 +100,11 @@ void Topology::compute_routes() {
         frontier.push_back(next);
       }
     }
-    // Install exact routes for every reachable host address.
+    // Install exact routes for every reachable advertised address.
     for (std::size_t dst = 0; dst < n; ++dst) {
       if (dst == src || first_hop[dst] == nullptr) continue;
-      if (const auto* host = dynamic_cast<const Host*>(nodes_[dst].get())) {
-        nodes_[src]->add_route(host->addr(), first_hop[dst]);
+      for (const std::uint32_t addr : addrs_at[dst]) {
+        nodes_[src]->add_route(addr, first_hop[dst]);
       }
     }
   }

@@ -24,13 +24,29 @@ class Topology {
  public:
   explicit Topology(Simulator& sim) : sim_(sim) {}
 
-  Host* add_host(const std::string& name, std::uint32_t addr);
+  /// `advertise` controls whether compute_routes installs routes toward this
+  /// host's address. Pass false for hosts that sit behind another node which
+  /// owns the address — e.g. fleet replicas behind a load balancer's VIP.
+  Host* add_host(const std::string& name, std::uint32_t addr,
+                 bool advertise = true);
   Router* add_router(const std::string& name);
 
-  /// Creates links a->b and b->a with identical characteristics.
-  void connect(Node* a, Node* b, const LinkSpec& spec);
+  /// Adopts an externally constructed node (custom Node subclasses such as
+  /// the fleet load balancer). The node must have been created against this
+  /// topology's simulator.
+  Node* add_node(std::unique_ptr<Node> node);
 
-  /// BFS from every node; installs exact routes for every host address.
+  /// Declares that `node` terminates traffic for `addr`; compute_routes then
+  /// installs routes toward it exactly as for a host address. Used for
+  /// addresses owned by non-Host nodes (a load balancer's VIP).
+  void advertise(Node* node, std::uint32_t addr);
+
+  /// Creates links a->b and b->a with identical characteristics and returns
+  /// them in that order (callers that steer traffic manually — the load
+  /// balancer — keep the forward link).
+  std::pair<Link*, Link*> connect(Node* a, Node* b, const LinkSpec& spec);
+
+  /// BFS from every node; installs exact routes for every advertised address.
   void compute_routes();
 
   [[nodiscard]] const std::vector<std::unique_ptr<Node>>& nodes() const {
@@ -47,11 +63,15 @@ class Topology {
     Link* link;
   };
 
+  [[nodiscard]] std::size_t index_of(const Node* node) const;
+
   Simulator& sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<Edge> edges_;
   std::vector<Host*> hosts_;
+  /// (node index, terminated address) pairs route targets for compute_routes.
+  std::vector<std::pair<std::size_t, std::uint32_t>> advertised_;
 };
 
 }  // namespace tcpz::net

@@ -217,12 +217,19 @@ Bytes OraclePuzzleEngine::derive_preimage(const FlowBinding& flow,
 
 Bytes OraclePuzzleEngine::oracle_solution(const Bytes& preimage,
                                           std::uint8_t index) const {
+  // Derived from the challenge pre-image alone, NOT the server secret:
+  // solving must not require anything beyond the SYN-ACK bytes (a real
+  // client brute-forces from the challenge), and in a fleet that rotates its
+  // secret, old challenges must stay solvable by clients that know nothing
+  // about epochs. Verification still binds solutions to the secret — and to
+  // the minting epoch — because the verifier re-derives the pre-image from
+  // its own secret and the echoed flow/timestamp.
   Bytes msg;
   msg.reserve(kOracleLabel.size() + preimage.size() + 1);
   msg.insert(msg.end(), kOracleLabel.begin(), kOracleLabel.end());
   msg.insert(msg.end(), preimage.begin(), preimage.end());
   msg.push_back(index);
-  const auto digest = crypto::hmac_sha256(secret_.bytes(), msg);
+  const auto digest = crypto::Sha256::hash(msg);
   return Bytes(digest.begin(), digest.begin() + cfg_.sol_len);
 }
 

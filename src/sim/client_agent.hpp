@@ -31,7 +31,9 @@ struct ClientAgentConfig {
   bool solve_puzzles = true;  ///< patched kernel?
   double max_price_hashes = std::numeric_limits<double>::infinity();
   /// Shared puzzle engine (the oracle in simulations); required when the
-  /// client is patched and the server may challenge it.
+  /// client is patched and the server may challenge it. Oracle solutions
+  /// derive from the challenge bytes alone, so one engine instance solves
+  /// challenges from any server secret epoch (see DESIGN.md, Substitutions).
   std::shared_ptr<const puzzle::PuzzleEngine> engine;
   CpuSpec cpu{351'575.0, 4, 1};
   /// Work-unit rate for solving (0 = cpu.hash_rate). Memory-bound puzzles

@@ -16,6 +16,41 @@ const char* to_string(DefenseMode m) {
   return "unknown";
 }
 
+ListenerCounters& operator+=(ListenerCounters& into, const ListenerCounters& c) {
+  into.syns_received += c.syns_received;
+  into.synacks_sent += c.synacks_sent;
+  into.plain_synacks += c.plain_synacks;
+  into.challenges_sent += c.challenges_sent;
+  into.cookies_sent += c.cookies_sent;
+  into.synack_retx += c.synack_retx;
+  into.drops_listen_full += c.drops_listen_full;
+  into.acks_received += c.acks_received;
+  into.solution_acks += c.solution_acks;
+  into.solutions_valid += c.solutions_valid;
+  into.solutions_invalid += c.solutions_invalid;
+  into.solutions_expired += c.solutions_expired;
+  into.solutions_bad_ackno += c.solutions_bad_ackno;
+  into.solutions_duplicate += c.solutions_duplicate;
+  into.acks_ignored_accept_full += c.acks_ignored_accept_full;
+  into.cookies_valid += c.cookies_valid;
+  into.cookies_invalid += c.cookies_invalid;
+  into.cookie_drops_accept_full += c.cookie_drops_accept_full;
+  into.acks_pending_accept += c.acks_pending_accept;
+  into.established_total += c.established_total;
+  into.established_queue += c.established_queue;
+  into.established_cookie += c.established_cookie;
+  into.established_puzzle += c.established_puzzle;
+  into.half_open_expired += c.half_open_expired;
+  into.rsts_sent += c.rsts_sent;
+  into.data_segments += c.data_segments;
+  into.data_unknown_flow += c.data_unknown_flow;
+  into.secret_rotations += c.secret_rotations;
+  into.solutions_valid_prev_epoch += c.solutions_valid_prev_epoch;
+  into.solutions_replay_filtered += c.solutions_replay_filtered;
+  into.crypto_hash_ops += c.crypto_hash_ops;
+  return into;
+}
+
 Listener::Listener(ListenerConfig cfg, crypto::SecretKey secret,
                    std::uint64_t seed,
                    std::shared_ptr<const puzzle::PuzzleEngine> engine)
@@ -50,6 +85,20 @@ void Listener::set_engine(std::shared_ptr<const puzzle::PuzzleEngine> engine) {
   engine_ = std::move(engine);
 }
 
+void Listener::rotate_secret(crypto::SecretKey secret,
+                             std::shared_ptr<const puzzle::PuzzleEngine> engine) {
+  if (!engine) {
+    throw std::invalid_argument("Listener::rotate_secret: engine required");
+  }
+  prev_ = PrevEpoch{secret_, std::move(engine_)};
+  secret_ = secret;
+  engine_ = std::move(engine);
+  ++epoch_;
+  ++counters_.secret_rotations;
+}
+
+void Listener::drop_previous_secret() { prev_.reset(); }
+
 void Listener::update_protection(SimTime now) {
   if (cfg_.mode != DefenseMode::kPuzzles) return;
   // §5: puzzles are "enabled when the socket's [SYN] queue is full". A
@@ -82,8 +131,9 @@ bool Listener::protection_active() const {
   return false;
 }
 
-std::uint32_t Listener::stateless_iss(const FlowKey& flow,
-                                      std::uint32_t ts) const {
+std::uint32_t Listener::stateless_iss_with(const crypto::SecretKey& secret,
+                                           const FlowKey& flow,
+                                           std::uint32_t ts) {
   Bytes msg;
   msg.reserve(32);
   const char label[] = "tcpz-iss-v1";
@@ -93,10 +143,15 @@ std::uint32_t Listener::stateless_iss(const FlowKey& flow,
   put_u32be(msg, flow.laddr);
   put_u16be(msg, flow.lport);
   put_u32be(msg, ts);
-  const auto d = crypto::hmac_sha256(secret_.bytes(), msg);
+  const auto d = crypto::hmac_sha256(secret.bytes(), msg);
   return (static_cast<std::uint32_t>(d[0]) << 24) |
          (static_cast<std::uint32_t>(d[1]) << 16) |
          (static_cast<std::uint32_t>(d[2]) << 8) | d[3];
+}
+
+std::uint32_t Listener::stateless_iss(const FlowKey& flow,
+                                      std::uint32_t ts) const {
+  return stateless_iss_with(secret_, flow, ts);
 }
 
 std::uint64_t Listener::take_hash_ops() {
@@ -368,10 +423,19 @@ std::vector<Segment> Listener::handle_solution_ack(SimTime now,
   }
 
   // The ACK must acknowledge the stateless ISS we derived for this flow and
-  // timestamp; otherwise the sender never saw our SYN-ACK.
+  // timestamp; otherwise the sender never saw our SYN-ACK. The ISS doubles
+  // as the epoch selector after a secret rotation: a challenge minted under
+  // the previous secret produced a previous-secret ISS, so a match there
+  // routes verification to the previous epoch's engine for the duration of
+  // the overlap window.
+  bool prev_epoch = false;
   if (seg.ack != stateless_iss(flow, ts) + 1) {
-    ++counters_.solutions_bad_ackno;
-    return {};
+    if (prev_ && seg.ack == stateless_iss_with(prev_->secret, flow, ts) + 1) {
+      prev_epoch = true;
+    } else {
+      ++counters_.solutions_bad_ackno;
+      return {};
+    }
   }
 
   // Replay of a flow that is already admitted occupies no additional slot.
@@ -388,8 +452,10 @@ std::vector<Segment> Listener::handle_solution_ack(SimTime now,
     return {};
   }
 
-  // Split the concatenated solution bytes into k values of sol_len bytes.
-  const std::uint8_t sol_len = engine_->config().sol_len;
+  // Split the concatenated solution bytes into k values of sol_len bytes
+  // (per the epoch that minted the challenge, should configs ever differ).
+  const std::uint8_t sol_len =
+      (prev_epoch ? prev_->engine : engine_)->config().sol_len;
   const unsigned k = cfg_.difficulty.k;
   puzzle::Solution solution;
   solution.timestamp = ts;
@@ -407,8 +473,9 @@ std::vector<Segment> Listener::handle_solution_ack(SimTime now,
 
   puzzle::FlowBinding bind{seg.saddr, seg.daddr, seg.sport, seg.dport,
                            seg.seq - 1};
+  const puzzle::PuzzleEngine& engine = prev_epoch ? *prev_->engine : *engine_;
   const puzzle::VerifyOutcome outcome =
-      engine_->verify(bind, solution, cfg_.difficulty, now_ms);
+      engine.verify(bind, solution, cfg_.difficulty, now_ms);
   counters_.crypto_hash_ops += outcome.hash_ops;
   hash_ops_pending_ += outcome.hash_ops;
 
@@ -422,7 +489,17 @@ std::vector<Segment> Listener::handle_solution_ack(SimTime now,
     return {};
   }
 
+  // Cluster-level replay check (after verification: only solutions that
+  // actually verify enter the shared cache, and the attacker still pays for
+  // forcing the verify work).
+  if (replay_filter_ && replay_filter_(flow, ts, now_ms)) {
+    ++counters_.solutions_duplicate;
+    ++counters_.solutions_replay_filtered;
+    return {};
+  }
+
   ++counters_.solutions_valid;
+  if (prev_epoch) ++counters_.solutions_valid_prev_epoch;
   AcceptedConnection conn;
   conn.flow = flow;
   conn.client_isn = seg.seq - 1;

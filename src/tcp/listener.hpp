@@ -120,11 +120,20 @@ struct ListenerCounters {
   std::uint64_t data_segments = 0;
   std::uint64_t data_unknown_flow = 0;
 
+  /// Secret-rotation bookkeeping (fleet deployments rotate the puzzle secret
+  /// across every replica; see src/fleet/secret_directory.hpp).
+  std::uint64_t secret_rotations = 0;
+  std::uint64_t solutions_valid_prev_epoch = 0;  ///< verified in the overlap window
+  std::uint64_t solutions_replay_filtered = 0;   ///< cluster-level replay rejections
+
   /// Cumulative crypto work (hash operations) the listener performed for
   /// challenge generation, solution verification and cookie MACs. The
   /// simulator charges this to the server's CPU model.
   std::uint64_t crypto_hash_ops = 0;
 };
+
+/// Field-wise accumulation, for fleet-level aggregation over replicas.
+ListenerCounters& operator+=(ListenerCounters& into, const ListenerCounters& c);
 
 class Listener {
  public:
@@ -164,6 +173,33 @@ class Listener {
   void set_difficulty(puzzle::Difficulty d);
   void set_engine(std::shared_ptr<const puzzle::PuzzleEngine> engine);
 
+  // -- secret rotation (fleet deployments) -----------------------------------
+  /// Installs a new puzzle secret/engine epoch. The outgoing pair becomes
+  /// the *previous* epoch: challenges are minted only from the new secret,
+  /// but solutions minted under the previous one keep verifying until
+  /// drop_previous_secret() ends the overlap window. SYN cookies keep the
+  /// construction-time secret (their validity window is seconds and they are
+  /// not part of the cross-replica scheme).
+  void rotate_secret(crypto::SecretKey secret,
+                     std::shared_ptr<const puzzle::PuzzleEngine> engine);
+  /// Ends the rotation overlap: previous-epoch solutions stop verifying.
+  void drop_previous_secret();
+  [[nodiscard]] bool has_previous_secret() const { return prev_.has_value(); }
+  /// Monotone epoch number, starting at 0; bumped by each rotate_secret().
+  [[nodiscard]] std::uint32_t secret_epoch() const { return epoch_; }
+
+  /// Cluster-level replay protection hook: invoked with (flow, challenge
+  /// timestamp, now in ms) after a solution verifies and before the
+  /// connection is admitted. A true return means another replica already
+  /// admitted this solution; the ACK is then dropped as a duplicate. The
+  /// filter is expected to have check-and-insert semantics (see
+  /// fleet::ReplayCache).
+  using ReplayFilter = std::function<bool(
+      const FlowKey& flow, std::uint32_t ts, std::uint32_t now_ms)>;
+  void set_replay_filter(ReplayFilter filter) {
+    replay_filter_ = std::move(filter);
+  }
+
   // -- introspection ---------------------------------------------------------
   [[nodiscard]] std::size_t listen_depth() const { return listen_.size(); }
   [[nodiscard]] std::size_t accept_depth() const { return accept_.size(); }
@@ -198,6 +234,8 @@ class Listener {
   [[nodiscard]] Segment make_rst(const Segment& in) const;
   [[nodiscard]] std::uint32_t stateless_iss(const FlowKey& flow,
                                             std::uint32_t ts) const;
+  [[nodiscard]] static std::uint32_t stateless_iss_with(
+      const crypto::SecretKey& secret, const FlowKey& flow, std::uint32_t ts);
   void establish(SimTime now, const AcceptedConnection& conn);
 
   [[nodiscard]] static std::uint32_t to_ms(SimTime t) {
@@ -207,9 +245,17 @@ class Listener {
     return static_cast<std::uint32_t>(t.nanos() / 1'000'000'000);
   }
 
+  /// A retired secret epoch, kept alive through the rotation overlap window.
+  struct PrevEpoch {
+    crypto::SecretKey secret;
+    std::shared_ptr<const puzzle::PuzzleEngine> engine;
+  };
+
   ListenerConfig cfg_;
   crypto::SecretKey secret_;
   std::shared_ptr<const puzzle::PuzzleEngine> engine_;
+  std::optional<PrevEpoch> prev_;
+  std::uint32_t epoch_ = 0;
   SynCookieCodec cookies_;
   Rng rng_;
 
@@ -221,6 +267,7 @@ class Listener {
 
   DataHandler data_handler_;
   EstablishHandler establish_handler_;
+  ReplayFilter replay_filter_;
   ListenerCounters counters_;
   std::uint64_t hash_ops_pending_ = 0;
   bool protection_latched_ = false;

@@ -1,0 +1,482 @@
+// Fleet subsystem tests: load-balancer dispatch policies and failover,
+// cross-replica stateless verification, secret rotation with the overlap
+// window, the cluster replay cache, and end-to-end fleet scenarios
+// (balanced service, partial adoption leakage, rotation under load).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "crypto/secret.hpp"
+#include "fleet/load_balancer.hpp"
+#include "fleet/replay_cache.hpp"
+#include "fleet/scenario.hpp"
+#include "fleet/secret_directory.hpp"
+#include "net/topology.hpp"
+#include "puzzle/engine.hpp"
+#include "tcp/connector.hpp"
+#include "tcp/listener.hpp"
+
+namespace tcpz::fleet {
+namespace {
+
+constexpr std::uint32_t kVip = tcp::ipv4(10, 1, 0, 1);
+constexpr std::uint16_t kPort = 80;
+constexpr std::uint32_t kClientAddr = tcp::ipv4(10, 2, 0, 1);
+
+// ---------------------------------------------------------------------------
+// LoadBalancer dispatch (driven through a real mini-topology)
+// ---------------------------------------------------------------------------
+
+struct MiniFleet {
+  net::Simulator sim;
+  net::Topology topo{sim};
+  LoadBalancer* lb = nullptr;
+  std::vector<net::Host*> replicas;
+  net::Host* client = nullptr;
+  std::vector<int> delivered;  ///< segments seen per replica
+
+  explicit MiniFleet(BalancePolicy policy, int n_replicas = 3) {
+    LoadBalancerConfig cfg;
+    cfg.vip = kVip;
+    cfg.policy = policy;
+    lb = static_cast<LoadBalancer*>(
+        topo.add_node(std::make_unique<LoadBalancer>(sim, "lb", cfg)));
+    topo.advertise(lb, kVip);
+    delivered.assign(static_cast<std::size_t>(n_replicas), 0);
+    for (int i = 0; i < n_replicas; ++i) {
+      net::Host* h = topo.add_host("replica" + std::to_string(i), kVip,
+                                   /*advertise=*/false);
+      auto [fwd, rev] = topo.connect(lb, h, {});
+      (void)rev;
+      lb->add_backend(fwd);
+      h->set_handler([this, i](SimTime, const tcp::Segment&) {
+        ++delivered[static_cast<std::size_t>(i)];
+      });
+      replicas.push_back(h);
+    }
+    client = topo.add_host("client", kClientAddr);
+    topo.connect(client, lb, {});
+    topo.compute_routes();
+  }
+
+  void send_syn(std::uint16_t sport) {
+    tcp::Segment s;
+    s.saddr = kClientAddr;
+    s.daddr = kVip;
+    s.sport = sport;
+    s.dport = kPort;
+    s.seq = 1;
+    s.flags = tcp::kSyn;
+    client->send(s);
+    sim.run();
+  }
+};
+
+TEST(LoadBalancer, RoundRobinCyclesNewFlows) {
+  MiniFleet f(BalancePolicy::kRoundRobin);
+  for (std::uint16_t p = 1000; p < 1006; ++p) f.send_syn(p);
+  EXPECT_EQ(f.delivered[0], 2);
+  EXPECT_EQ(f.delivered[1], 2);
+  EXPECT_EQ(f.delivered[2], 2);
+}
+
+TEST(LoadBalancer, RoundRobinKeepsFlowAffinity) {
+  MiniFleet f(BalancePolicy::kRoundRobin);
+  for (int rep = 0; rep < 4; ++rep) f.send_syn(1000);  // same flow 4x
+  EXPECT_EQ(f.delivered[0], 4);
+  EXPECT_EQ(f.delivered[1], 0);
+}
+
+TEST(LoadBalancer, HashIsDeterministicPerFlow) {
+  MiniFleet f(BalancePolicy::kFiveTupleHash);
+  for (int rep = 0; rep < 5; ++rep) f.send_syn(4242);
+  int nonzero = 0;
+  for (const int d : f.delivered) {
+    if (d > 0) {
+      ++nonzero;
+      EXPECT_EQ(d, 5);  // all five copies on one replica
+    }
+  }
+  EXPECT_EQ(nonzero, 1);
+}
+
+TEST(LoadBalancer, HashSpreadsDistinctFlows) {
+  MiniFleet f(BalancePolicy::kFiveTupleHash);
+  for (std::uint16_t p = 1000; p < 1064; ++p) f.send_syn(p);
+  int nonzero = 0;
+  for (const int d : f.delivered) nonzero += d > 0 ? 1 : 0;
+  EXPECT_GE(nonzero, 2);  // 64 flows across 3 replicas: all busy w.h.p.
+}
+
+TEST(LoadBalancer, LeastConnectionsBalancesWithinOne) {
+  MiniFleet f(BalancePolicy::kLeastConnections);
+  for (std::uint16_t p = 1000; p < 1007; ++p) f.send_syn(p);
+  int lo = f.delivered[0], hi = f.delivered[0];
+  for (const int d : f.delivered) {
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(LoadBalancer, FailoverEvictsAndReassigns) {
+  MiniFleet f(BalancePolicy::kRoundRobin, 2);
+  f.send_syn(1000);  // round-robin: lands on replica 0
+  ASSERT_EQ(f.delivered[0], 1);
+  f.lb->set_backend_up(0, false);
+  EXPECT_EQ(f.lb->failover_evictions(), 1u);  // tracked flow evicted
+  f.send_syn(1000);                      // retransmission re-dispatches
+  EXPECT_EQ(f.delivered[0], 1);
+  EXPECT_EQ(f.delivered[1], 1);
+  f.lb->set_backend_up(0, true);
+  f.send_syn(2000);  // new flow can use replica 0 again
+  EXPECT_EQ(f.delivered[0] + f.delivered[1], 3);
+}
+
+TEST(LoadBalancer, AllBackendsDownDrops) {
+  MiniFleet f(BalancePolicy::kFiveTupleHash, 2);
+  f.lb->set_backend_up(0, false);
+  f.lb->set_backend_up(1, false);
+  f.send_syn(1000);
+  EXPECT_EQ(f.lb->no_backend_drops(), 1u);
+  EXPECT_EQ(f.delivered[0] + f.delivered[1], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-replica stateless verification (the property that makes the fleet
+// work at all): a solution minted for replica A's challenge verifies on B.
+// ---------------------------------------------------------------------------
+
+struct ReplicaPair {
+  crypto::SecretKey secret = crypto::SecretKey::from_seed(7);
+  std::shared_ptr<puzzle::OraclePuzzleEngine> engine =
+      std::make_shared<puzzle::OraclePuzzleEngine>(
+          secret, puzzle::EngineConfig{4, 4000, 100});
+  std::unique_ptr<tcp::Listener> a, b;
+
+  ReplicaPair() {
+    tcp::ListenerConfig cfg;
+    cfg.local_addr = kVip;
+    cfg.local_port = kPort;
+    cfg.mode = tcp::DefenseMode::kPuzzles;
+    cfg.always_challenge = true;
+    a = std::make_unique<tcp::Listener>(cfg, secret, 1, engine);
+    b = std::make_unique<tcp::Listener>(cfg, secret, 2, engine);
+  }
+
+  /// SYN -> A's challenge -> solve -> the solution ACK (not yet delivered).
+  tcp::Segment minted_solution_ack(std::uint16_t sport, SimTime now,
+                                   tcp::Connector& conn) {
+    auto out = conn.start(now);
+    auto synacks = a->on_segment(now, out.segments.at(0));
+    out = conn.on_segment(now, synacks.at(0));
+    EXPECT_TRUE(out.solve.has_value()) << "no challenge for sport " << sport;
+    std::uint64_t ops = 0;
+    Rng rng(sport);
+    const auto sol = engine->solve(*out.solve, conn.flow_binding(), rng, ops);
+    out = conn.on_solved(now, sol);
+    return out.segments.at(0);
+  }
+
+  static tcp::Connector make_connector(std::uint16_t sport) {
+    tcp::ConnectorConfig ccfg;
+    ccfg.local_addr = kClientAddr;
+    ccfg.local_port = sport;
+    ccfg.remote_addr = kVip;
+    ccfg.remote_port = kPort;
+    return tcp::Connector(ccfg, sport);
+  }
+};
+
+TEST(CrossReplica, SolutionMintedOnAVerifiesOnB) {
+  ReplicaPair fleet;
+  const SimTime now = SimTime::seconds(1);
+  auto conn = ReplicaPair::make_connector(2000);
+  const tcp::Segment ack = fleet.minted_solution_ack(2000, now, conn);
+
+  // Failover: the ACK lands on replica B, which never saw the challenge.
+  (void)fleet.b->on_segment(now, ack);
+  EXPECT_EQ(fleet.b->counters().solutions_valid, 1u);
+  EXPECT_EQ(fleet.b->counters().established_puzzle, 1u);
+  EXPECT_EQ(fleet.a->counters().established_puzzle, 0u);
+}
+
+TEST(CrossReplica, ReplayAcrossReplicasRejectedWithSharedCache) {
+  ReplicaPair fleet;
+  ReplayCache cache(5000);
+  const auto filter = [&cache](const tcp::FlowKey& flow, std::uint32_t ts,
+                               std::uint32_t now_ms) {
+    return cache.check_and_insert(flow, ts, now_ms);
+  };
+  fleet.a->set_replay_filter(filter);
+  fleet.b->set_replay_filter(filter);
+
+  const SimTime now = SimTime::seconds(1);
+  auto conn = ReplicaPair::make_connector(2001);
+  const tcp::Segment ack = fleet.minted_solution_ack(2001, now, conn);
+
+  (void)fleet.a->on_segment(now, ack);  // legitimate admission on A
+  EXPECT_EQ(fleet.a->counters().established_puzzle, 1u);
+
+  (void)fleet.b->on_segment(now, ack);  // replayed verbatim at B
+  EXPECT_EQ(fleet.b->counters().established_puzzle, 0u);
+  EXPECT_EQ(fleet.b->counters().solutions_duplicate, 1u);
+  EXPECT_EQ(fleet.b->counters().solutions_replay_filtered, 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(CrossReplica, WithoutSharedCacheReplayLandsOnB) {
+  // Documents the gap the cache closes: pure statelessness admits the
+  // replayed solution on a second replica.
+  ReplicaPair fleet;
+  const SimTime now = SimTime::seconds(1);
+  auto conn = ReplicaPair::make_connector(2002);
+  const tcp::Segment ack = fleet.minted_solution_ack(2002, now, conn);
+  (void)fleet.a->on_segment(now, ack);
+  (void)fleet.b->on_segment(now, ack);
+  EXPECT_EQ(fleet.a->counters().established_puzzle, 1u);
+  EXPECT_EQ(fleet.b->counters().established_puzzle, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Secret rotation: overlap window, expiry, determinism
+// ---------------------------------------------------------------------------
+
+struct RotatingFleet {
+  SecretDirectory directory;
+  std::unique_ptr<tcp::Listener> a, b;
+
+  RotatingFleet()
+      : directory([] {
+          SecretDirectoryConfig cfg;
+          cfg.seed = 7;
+          cfg.engine = puzzle::EngineConfig{4, 60'000, 100};  // long expiry:
+          // the tests below isolate *rotation* rejection from *puzzle* expiry.
+          return cfg;
+        }()) {
+    tcp::ListenerConfig cfg;
+    cfg.local_addr = kVip;
+    cfg.local_port = kPort;
+    cfg.mode = tcp::DefenseMode::kPuzzles;
+    cfg.always_challenge = true;
+    a = std::make_unique<tcp::Listener>(cfg, directory.current_secret(), 1,
+                                        directory.current_engine());
+    b = std::make_unique<tcp::Listener>(cfg, directory.current_secret(), 2,
+                                        directory.current_engine());
+    directory.subscribe(a.get());
+    directory.subscribe(b.get());
+  }
+
+  tcp::Segment minted_solution_ack(std::uint16_t sport, SimTime now,
+                                   tcp::Connector& conn) {
+    auto out = conn.start(now);
+    auto synacks = a->on_segment(now, out.segments.at(0));
+    out = conn.on_segment(now, synacks.at(0));
+    EXPECT_TRUE(out.solve.has_value());
+    std::uint64_t ops = 0;
+    Rng rng(sport);
+    const auto sol = directory.current_engine()->solve(
+        *out.solve, conn.flow_binding(), rng, ops);
+    out = conn.on_solved(now, sol);
+    return out.segments.at(0);
+  }
+};
+
+TEST(SecretRotation, OverlapWindowAcceptsPreviousEpochOnEveryReplica) {
+  RotatingFleet fleet;
+  const SimTime t0 = SimTime::seconds(1);
+  auto conn_a = ReplicaPair::make_connector(3000);
+  auto conn_b = ReplicaPair::make_connector(3001);
+  const tcp::Segment ack_a = fleet.minted_solution_ack(3000, t0, conn_a);
+  const tcp::Segment ack_b = fleet.minted_solution_ack(3001, t0, conn_b);
+
+  fleet.directory.rotate();
+  EXPECT_EQ(fleet.a->secret_epoch(), 1u);
+  EXPECT_EQ(fleet.a->counters().secret_rotations, 1u);
+
+  // Solutions minted under epoch 0 verify on both replicas in the overlap.
+  const SimTime t1 = SimTime::seconds(2);
+  (void)fleet.a->on_segment(t1, ack_a);
+  (void)fleet.b->on_segment(t1, ack_b);
+  EXPECT_EQ(fleet.a->counters().established_puzzle, 1u);
+  EXPECT_EQ(fleet.a->counters().solutions_valid_prev_epoch, 1u);
+  EXPECT_EQ(fleet.b->counters().established_puzzle, 1u);
+  EXPECT_EQ(fleet.b->counters().solutions_valid_prev_epoch, 1u);
+}
+
+TEST(SecretRotation, PreviousEpochRejectedAfterOverlapExpiry) {
+  RotatingFleet fleet;
+  const SimTime t0 = SimTime::seconds(1);
+  auto conn = ReplicaPair::make_connector(3002);
+  const tcp::Segment ack = fleet.minted_solution_ack(3002, t0, conn);
+
+  fleet.directory.rotate();
+  fleet.directory.expire_overlap();
+  EXPECT_FALSE(fleet.a->has_previous_secret());
+
+  (void)fleet.a->on_segment(SimTime::seconds(2), ack);
+  EXPECT_EQ(fleet.a->counters().established_puzzle, 0u);
+  // Without the previous secret the ACK no longer matches any stateless ISS.
+  EXPECT_EQ(fleet.a->counters().solutions_bad_ackno, 1u);
+}
+
+TEST(SecretRotation, CurrentEpochMintsAndVerifiesAfterRotation) {
+  RotatingFleet fleet;
+  fleet.directory.rotate();
+  fleet.directory.expire_overlap();
+
+  const SimTime now = SimTime::seconds(3);
+  auto conn = ReplicaPair::make_connector(3003);
+  const tcp::Segment ack = fleet.minted_solution_ack(3003, now, conn);
+  (void)fleet.b->on_segment(now, ack);  // cross-replica, post-rotation
+  EXPECT_EQ(fleet.b->counters().established_puzzle, 1u);
+  EXPECT_EQ(fleet.b->counters().solutions_valid_prev_epoch, 0u);
+}
+
+TEST(SecretRotation, ReplayStaysRejectedAcrossRotation) {
+  RotatingFleet fleet;
+  ReplayCache cache(120'000);
+  const auto filter = [&cache](const tcp::FlowKey& flow, std::uint32_t ts,
+                               std::uint32_t now_ms) {
+    return cache.check_and_insert(flow, ts, now_ms);
+  };
+  fleet.a->set_replay_filter(filter);
+  fleet.b->set_replay_filter(filter);
+
+  const SimTime t0 = SimTime::seconds(1);
+  auto conn = ReplicaPair::make_connector(3004);
+  const tcp::Segment ack = fleet.minted_solution_ack(3004, t0, conn);
+  (void)fleet.a->on_segment(t0, ack);
+  ASSERT_EQ(fleet.a->counters().established_puzzle, 1u);
+
+  fleet.directory.rotate();  // replay arrives after the fleet rotated
+  (void)fleet.b->on_segment(SimTime::seconds(2), ack);
+  EXPECT_EQ(fleet.b->counters().established_puzzle, 0u);
+  EXPECT_EQ(fleet.b->counters().solutions_replay_filtered, 1u);
+}
+
+TEST(SecretDirectory, DeterministicAndDistinctEpochs) {
+  SecretDirectoryConfig cfg;
+  cfg.seed = 42;
+  SecretDirectory d1(cfg), d2(cfg);
+  EXPECT_TRUE(d1.current_secret() == d2.current_secret());
+  const crypto::SecretKey epoch0 = d1.current_secret();
+  d1.rotate();
+  d2.rotate();
+  EXPECT_TRUE(d1.current_secret() == d2.current_secret());
+  EXPECT_FALSE(d1.current_secret() == epoch0);
+}
+
+TEST(ReplayCache, ExpiresEntriesWithTheChallengeWindow) {
+  ReplayCache cache(4000);
+  const tcp::FlowKey flow{kClientAddr, 4000, kVip, kPort};
+  EXPECT_FALSE(cache.check_and_insert(flow, 1000, 1000));
+  EXPECT_TRUE(cache.check_and_insert(flow, 1000, 2000));  // replay inside ttl
+  EXPECT_EQ(cache.size(), 1u);
+  // Past the ttl the entry is gone (the challenge can no longer verify, so
+  // forgetting it is safe) and memory stays bounded.
+  EXPECT_FALSE(cache.check_and_insert(flow, 1000, 6000));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end fleet scenarios (small timelines to stay fast)
+// ---------------------------------------------------------------------------
+
+FleetScenarioConfig small_fleet(std::uint64_t seed) {
+  FleetScenarioConfig f;
+  f.base.seed = seed;
+  f.base.duration = SimTime::seconds(40);
+  f.base.attack_start = SimTime::seconds(10);
+  f.base.attack_end = SimTime::seconds(30);
+  f.base.n_clients = 6;
+  f.base.client_rate = 10.0;
+  f.base.response_bytes = 20'000;
+  f.base.n_bots = 0;
+  f.base.protection_hold = SimTime::seconds(20);
+  f.n_replicas = 3;
+  return f;
+}
+
+TEST(FleetScenario, BalancedFleetServesClients) {
+  FleetScenarioConfig f = small_fleet(11);
+  f.policy = BalancePolicy::kRoundRobin;
+  const FleetResult r = run_fleet_scenario(f);
+
+  EXPECT_GT(r.client_success_ratio(), 0.95);
+  for (const auto& replica : r.replicas) {
+    EXPECT_GT(replica.counters.established_total, 0u)
+        << "idle replica in a balanced fleet";
+  }
+  EXPECT_EQ(r.cluster.established_total,
+            r.replicas[0].counters.established_total +
+                r.replicas[1].counters.established_total +
+                r.replicas[2].counters.established_total);
+  EXPECT_EQ(r.lb.no_backend_drops, 0u);
+}
+
+TEST(FleetScenario, FailoverKeepsClusterServing) {
+  FleetScenarioConfig f = small_fleet(12);
+  f.policy = BalancePolicy::kRoundRobin;
+  f.events = {{SimTime::seconds(12), 0, false}, {SimTime::seconds(25), 0, true}};
+  const FleetResult r = run_fleet_scenario(f);
+
+  // Flows parked on the dead replica are disrupted, everything else keeps
+  // working; the cluster serves throughout.
+  EXPECT_GT(r.lb.failover_evictions, 0u);
+  EXPECT_GT(r.client_success_ratio(), 0.7);
+  EXPECT_GT(r.replicas[1].counters.established_total, 0u);
+  EXPECT_GT(r.replicas[2].counters.established_total, 0u);
+}
+
+TEST(FleetScenario, PartialAdoptionLeaksThroughUnprotectedReplica) {
+  FleetScenarioConfig f = small_fleet(13);
+  f.base.duration = SimTime::seconds(45);
+  f.base.attack_end = SimTime::seconds(35);
+  f.base.n_bots = 4;
+  f.base.bot_rate = 200.0;
+  f.base.bots_solve = false;  // classic flood tool
+  f.base.attack = sim::AttackType::kConnFlood;
+  f.n_replicas = 4;
+  f.policy = BalancePolicy::kFiveTupleHash;
+  f.replica_modes = {tcp::DefenseMode::kNone, tcp::DefenseMode::kPuzzles,
+                     tcp::DefenseMode::kPuzzles, tcp::DefenseMode::kPuzzles};
+  const FleetResult r = run_fleet_scenario(f);
+
+  // Late attack window: by then the puzzle replicas' protection has latched
+  // and their pre-protection parked entries (the Fig. 8 "opportunistic
+  // openings") have drained, so remaining leakage flows through the legacy
+  // replica.
+  const std::size_t lo = 25, hi = 34;
+  const double unprotected = r.replica_attacker_cps(0, lo, hi);
+  EXPECT_GT(unprotected, 1.0) << "flood should leak through the legacy replica";
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(unprotected, 3.0 * r.replica_attacker_cps(i, lo, hi))
+        << "puzzle replica " << i << " leaked like the legacy one";
+  }
+}
+
+TEST(FleetScenario, RotationUnderLoadKeepsClientsConnected) {
+  FleetScenarioConfig f = small_fleet(14);
+  f.base.always_challenge = true;  // exercise the puzzle path continuously
+  // Every request solves, so keep the per-client solver (one lane) below
+  // saturation: ~0.19 s per solve at m=16 against 4 requests/s.
+  f.base.client_rate = 4.0;
+  f.base.client_max_pending_solves = 8;  // absorb solve-queue bursts
+  f.base.difficulty = puzzle::Difficulty{2, 16};
+  f.rotation_interval = SimTime::seconds(10);
+  f.rotation_overlap = SimTime::seconds(3);
+  const FleetResult r = run_fleet_scenario(f);
+
+  EXPECT_GE(r.secret_rotations, 3u);
+  EXPECT_EQ(r.cluster.secret_rotations, 3u * r.secret_rotations);
+  EXPECT_GT(r.client_success_ratio(), 0.95);
+  EXPECT_GT(r.cluster.established_puzzle, 0u);
+  // Solves in flight across a rotation land in the overlap window.
+  EXPECT_GT(r.cluster.solutions_valid_prev_epoch, 0u);
+}
+
+}  // namespace
+}  // namespace tcpz::fleet
