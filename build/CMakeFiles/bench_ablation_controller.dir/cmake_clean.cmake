@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_controller.dir/bench/ablation_controller.cpp.o"
+  "CMakeFiles/bench_ablation_controller.dir/bench/ablation_controller.cpp.o.d"
+  "bench_ablation_controller"
+  "bench_ablation_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

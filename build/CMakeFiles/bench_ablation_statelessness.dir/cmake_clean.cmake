@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_statelessness.dir/bench/ablation_statelessness.cpp.o"
+  "CMakeFiles/bench_ablation_statelessness.dir/bench/ablation_statelessness.cpp.o.d"
+  "bench_ablation_statelessness"
+  "bench_ablation_statelessness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_statelessness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

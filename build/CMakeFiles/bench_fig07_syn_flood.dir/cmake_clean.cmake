@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_syn_flood.dir/bench/fig07_syn_flood.cpp.o"
+  "CMakeFiles/bench_fig07_syn_flood.dir/bench/fig07_syn_flood.cpp.o.d"
+  "bench_fig07_syn_flood"
+  "bench_fig07_syn_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_syn_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

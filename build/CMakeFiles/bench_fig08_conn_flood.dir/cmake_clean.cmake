@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_conn_flood.dir/bench/fig08_conn_flood.cpp.o"
+  "CMakeFiles/bench_fig08_conn_flood.dir/bench/fig08_conn_flood.cpp.o.d"
+  "bench_fig08_conn_flood"
+  "bench_fig08_conn_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_conn_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_conn_flood.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_queues.dir/bench/fig10_queues.cpp.o"
+  "CMakeFiles/bench_fig10_queues.dir/bench/fig10_queues.cpp.o.d"
+  "bench_fig10_queues"
+  "bench_fig10_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

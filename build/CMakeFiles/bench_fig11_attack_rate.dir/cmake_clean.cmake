@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_attack_rate.dir/bench/fig11_attack_rate.cpp.o"
+  "CMakeFiles/bench_fig11_attack_rate.dir/bench/fig11_attack_rate.cpp.o.d"
+  "bench_fig11_attack_rate"
+  "bench_fig11_attack_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_attack_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_adoption.dir/bench/fig15_adoption.cpp.o"
+  "CMakeFiles/bench_fig15_adoption.dir/bench/fig15_adoption.cpp.o.d"
+  "bench_fig15_adoption"
+  "bench_fig15_adoption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_adoption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

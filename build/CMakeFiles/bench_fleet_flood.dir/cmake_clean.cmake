@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fleet_flood.dir/bench/fleet_flood.cpp.o"
+  "CMakeFiles/bench_fleet_flood.dir/bench/fleet_flood.cpp.o.d"
+  "bench_fleet_flood"
+  "bench_fleet_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fleet_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fleet_flood.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_solution_flood.dir/bench/sec7_solution_flood.cpp.o"
+  "CMakeFiles/bench_sec7_solution_flood.dir/bench/sec7_solution_flood.cpp.o.d"
+  "bench_sec7_solution_flood"
+  "bench_sec7_solution_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_solution_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_iot.dir/bench/table1_iot.cpp.o"
+  "CMakeFiles/bench_table1_iot.dir/bench/table1_iot.cpp.o.d"
+  "bench_table1_iot"
+  "bench_table1_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

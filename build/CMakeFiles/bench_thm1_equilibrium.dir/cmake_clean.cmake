@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_equilibrium.dir/bench/thm1_equilibrium.cpp.o"
+  "CMakeFiles/bench_thm1_equilibrium.dir/bench/thm1_equilibrium.cpp.o.d"
+  "bench_thm1_equilibrium"
+  "bench_thm1_equilibrium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_equilibrium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

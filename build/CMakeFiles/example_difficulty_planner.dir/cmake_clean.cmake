@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_difficulty_planner.dir/examples/difficulty_planner.cpp.o"
+  "CMakeFiles/example_difficulty_planner.dir/examples/difficulty_planner.cpp.o.d"
+  "example_difficulty_planner"
+  "example_difficulty_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_difficulty_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

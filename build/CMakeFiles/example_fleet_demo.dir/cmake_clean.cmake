@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fleet_demo.dir/examples/fleet_demo.cpp.o"
+  "CMakeFiles/example_fleet_demo.dir/examples/fleet_demo.cpp.o.d"
+  "example_fleet_demo"
+  "example_fleet_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fleet_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flood_defense_demo.dir/examples/flood_defense_demo.cpp.o"
+  "CMakeFiles/example_flood_defense_demo.dir/examples/flood_defense_demo.cpp.o.d"
+  "example_flood_defense_demo"
+  "example_flood_defense_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flood_defense_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_flood_defense_demo.
+# This may be replaced when dependencies are built.

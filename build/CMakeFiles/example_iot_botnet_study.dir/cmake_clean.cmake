@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_iot_botnet_study.dir/examples/iot_botnet_study.cpp.o"
+  "CMakeFiles/example_iot_botnet_study.dir/examples/iot_botnet_study.cpp.o.d"
+  "example_iot_botnet_study"
+  "example_iot_botnet_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_iot_botnet_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

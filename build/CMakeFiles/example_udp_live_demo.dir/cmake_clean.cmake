@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_udp_live_demo.dir/examples/udp_live_demo.cpp.o"
+  "CMakeFiles/example_udp_live_demo.dir/examples/udp_live_demo.cpp.o.d"
+  "example_udp_live_demo"
+  "example_udp_live_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_udp_live_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listener_paths_test.dir/tests/listener_paths_test.cpp.o"
+  "CMakeFiles/listener_paths_test.dir/tests/listener_paths_test.cpp.o.d"
+  "listener_paths_test"
+  "listener_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listener_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

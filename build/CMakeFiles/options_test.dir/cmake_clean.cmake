@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/options_test.dir/tests/options_test.cpp.o"
+  "CMakeFiles/options_test.dir/tests/options_test.cpp.o.d"
+  "options_test"
+  "options_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

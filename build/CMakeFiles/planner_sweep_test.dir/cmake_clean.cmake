@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_sweep_test.dir/tests/planner_sweep_test.cpp.o"
+  "CMakeFiles/planner_sweep_test.dir/tests/planner_sweep_test.cpp.o.d"
+  "planner_sweep_test"
+  "planner_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

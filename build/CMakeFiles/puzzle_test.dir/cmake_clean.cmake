@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puzzle_test.dir/tests/puzzle_test.cpp.o"
+  "CMakeFiles/puzzle_test.dir/tests/puzzle_test.cpp.o.d"
+  "puzzle_test"
+  "puzzle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puzzle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

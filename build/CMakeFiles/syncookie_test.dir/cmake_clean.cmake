@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncookie_test.dir/tests/syncookie_test.cpp.o"
+  "CMakeFiles/syncookie_test.dir/tests/syncookie_test.cpp.o.d"
+  "syncookie_test"
+  "syncookie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncookie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

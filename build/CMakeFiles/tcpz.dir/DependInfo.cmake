@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "CMakeFiles/tcpz.dir/src/core/adaptive.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/core/adaptive.cpp.o.d"
+  "/root/repo/src/core/tcppuzzles.cpp" "CMakeFiles/tcpz.dir/src/core/tcppuzzles.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/core/tcppuzzles.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "CMakeFiles/tcpz.dir/src/crypto/hmac.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/secret.cpp" "CMakeFiles/tcpz.dir/src/crypto/secret.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/crypto/secret.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/tcpz.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/fleet/load_balancer.cpp" "CMakeFiles/tcpz.dir/src/fleet/load_balancer.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/fleet/load_balancer.cpp.o.d"
+  "/root/repo/src/fleet/replay_cache.cpp" "CMakeFiles/tcpz.dir/src/fleet/replay_cache.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/fleet/replay_cache.cpp.o.d"
+  "/root/repo/src/fleet/scenario.cpp" "CMakeFiles/tcpz.dir/src/fleet/scenario.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/fleet/scenario.cpp.o.d"
+  "/root/repo/src/fleet/secret_directory.cpp" "CMakeFiles/tcpz.dir/src/fleet/secret_directory.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/fleet/secret_directory.cpp.o.d"
+  "/root/repo/src/game/heterogeneous.cpp" "CMakeFiles/tcpz.dir/src/game/heterogeneous.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/game/heterogeneous.cpp.o.d"
+  "/root/repo/src/game/model.cpp" "CMakeFiles/tcpz.dir/src/game/model.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/game/model.cpp.o.d"
+  "/root/repo/src/game/planner.cpp" "CMakeFiles/tcpz.dir/src/game/planner.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/game/planner.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "CMakeFiles/tcpz.dir/src/net/link.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/net/link.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "CMakeFiles/tcpz.dir/src/net/node.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/net/node.cpp.o.d"
+  "/root/repo/src/net/simulator.cpp" "CMakeFiles/tcpz.dir/src/net/simulator.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/net/simulator.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "CMakeFiles/tcpz.dir/src/net/topology.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/net/topology.cpp.o.d"
+  "/root/repo/src/puzzle/engine.cpp" "CMakeFiles/tcpz.dir/src/puzzle/engine.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/puzzle/engine.cpp.o.d"
+  "/root/repo/src/puzzle/types.cpp" "CMakeFiles/tcpz.dir/src/puzzle/types.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/puzzle/types.cpp.o.d"
+  "/root/repo/src/shim/udp_transport.cpp" "CMakeFiles/tcpz.dir/src/shim/udp_transport.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/shim/udp_transport.cpp.o.d"
+  "/root/repo/src/sim/attacker_agent.cpp" "CMakeFiles/tcpz.dir/src/sim/attacker_agent.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/sim/attacker_agent.cpp.o.d"
+  "/root/repo/src/sim/client_agent.cpp" "CMakeFiles/tcpz.dir/src/sim/client_agent.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/sim/client_agent.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "CMakeFiles/tcpz.dir/src/sim/cpu.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/sim/cpu.cpp.o.d"
+  "/root/repo/src/sim/report_io.cpp" "CMakeFiles/tcpz.dir/src/sim/report_io.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/sim/report_io.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "CMakeFiles/tcpz.dir/src/sim/scenario.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/server_agent.cpp" "CMakeFiles/tcpz.dir/src/sim/server_agent.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/sim/server_agent.cpp.o.d"
+  "/root/repo/src/tcp/connector.cpp" "CMakeFiles/tcpz.dir/src/tcp/connector.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/tcp/connector.cpp.o.d"
+  "/root/repo/src/tcp/listener.cpp" "CMakeFiles/tcpz.dir/src/tcp/listener.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/tcp/listener.cpp.o.d"
+  "/root/repo/src/tcp/options.cpp" "CMakeFiles/tcpz.dir/src/tcp/options.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/tcp/options.cpp.o.d"
+  "/root/repo/src/tcp/queues.cpp" "CMakeFiles/tcpz.dir/src/tcp/queues.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/tcp/queues.cpp.o.d"
+  "/root/repo/src/tcp/segment.cpp" "CMakeFiles/tcpz.dir/src/tcp/segment.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/tcp/segment.cpp.o.d"
+  "/root/repo/src/tcp/syncookie.cpp" "CMakeFiles/tcpz.dir/src/tcp/syncookie.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/tcp/syncookie.cpp.o.d"
+  "/root/repo/src/tcp/wire.cpp" "CMakeFiles/tcpz.dir/src/tcp/wire.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/tcp/wire.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "CMakeFiles/tcpz.dir/src/util/bytes.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/util/bytes.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/tcpz.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/tcpz.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/tcpz.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/time.cpp" "CMakeFiles/tcpz.dir/src/util/time.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/util/time.cpp.o.d"
+  "/root/repo/src/util/timeseries.cpp" "CMakeFiles/tcpz.dir/src/util/timeseries.cpp.o" "gcc" "CMakeFiles/tcpz.dir/src/util/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
