@@ -5,15 +5,19 @@
 // paper's qualitative claims. Default runs use the scaled timeline
 // (ScenarioConfig::scaled()); pass --full for paper-scale durations.
 //
-// finish() also writes BENCH_<artifact>.json into the working directory —
-// the shape checks plus any metric() values, machine-readable so CI can
-// track the perf/fidelity trajectory across commits.
+// finish() also writes results/BENCH_<artifact>.json (under the working
+// directory, created on demand) — the shape checks plus any metric() values,
+// machine-readable so CI can track the perf/fidelity trajectory across
+// commits. Reports used to land loose in the build tree and were committed
+// by accident; the curated copies now live in the repo-root results/.
 #pragma once
 
 #include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -72,14 +76,18 @@ inline std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// BENCH_<artifact>.json: {"artifact", "failures", "checks", "metrics"}.
+/// results/BENCH_<artifact>.json: {"artifact", "failures", "checks",
+/// "metrics"}.
 inline void write_json_report() {
   if (g_artifact.empty()) return;
-  std::string fname = "BENCH_";
+  std::string fname = "results/BENCH_";
   for (const char c : g_artifact) {
     fname.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
   }
   fname += ".json";
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  if (ec) return;
   std::FILE* f = std::fopen(fname.c_str(), "w");
   if (f == nullptr) return;
   std::fprintf(f, "{\n  \"artifact\": \"%s\",\n  \"failures\": %d,\n",

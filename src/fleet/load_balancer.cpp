@@ -164,7 +164,7 @@ void LoadBalancer::deliver(const tcp::Segment& seg) {
 
 void LoadBalancer::sweep_loop(SimTime until) {
   if (sim().now() >= until) return;
-  sim().schedule_in(cfg_.sweep_interval, [this, until] {
+  sweep_timer_ = sim().schedule_in(cfg_.sweep_interval, [this, until] {
     const SimTime now = sim().now();
     for (auto it = flows_.begin(); it != flows_.end();) {
       if (now - it->second.last_seen > cfg_.flow_idle_timeout) {
@@ -180,6 +180,11 @@ void LoadBalancer::sweep_loop(SimTime until) {
 
 void LoadBalancer::start(SimTime until) {
   if (cfg_.policy != BalancePolicy::kFiveTupleHash) sweep_loop(until);
+}
+
+void LoadBalancer::stop() {
+  (void)sim().cancel(sweep_timer_);
+  sweep_timer_.reset();
 }
 
 }  // namespace tcpz::fleet

@@ -82,6 +82,8 @@ class LoadBalancer final : public net::Node {
 
   /// Schedules the periodic idle-flow sweep until `until`.
   void start(SimTime until);
+  /// Deschedules the pending sweep (no tombstone event is left behind).
+  void stop();
 
   [[nodiscard]] const BackendStats& stats(int idx) const {
     return backends_[idx].stats;
@@ -126,6 +128,7 @@ class LoadBalancer final : public net::Node {
   std::vector<Backend> backends_;
   std::vector<int> live_;  ///< indices of up backends (hash dispatch is per-packet)
   std::unordered_map<std::uint64_t, FlowEntry> flows_;
+  net::TimerHandle sweep_timer_;
   std::size_t rr_next_ = 0;
   std::uint64_t no_backend_drops_ = 0;
   std::uint64_t failover_evictions_ = 0;

@@ -2,16 +2,33 @@
 
 namespace tcpz::fleet {
 
+void ReplayCache::drop_front() {
+  const auto& [inserted, key] = order_.front();
+  // Only erase when the map still holds this exact insertion. (With the
+  // never-reinsert-while-present invariant the guard always matches today,
+  // but it keeps a future refresh-on-hit change from erasing a newer entry.)
+  if (const auto it = entries_.find(key);
+      it != entries_.end() && it->second == inserted) {
+    entries_.erase(it);
+  }
+  order_.pop_front();
+}
+
 void ReplayCache::expire(std::uint32_t now_ms) {
-  while (!order_.empty() && order_.front().first + ttl_ms_ < now_ms) {
-    const auto& [inserted, key] = order_.front();
-    // Only erase if the map still holds this insertion (it always does —
-    // keys are never re-inserted while present).
-    if (const auto it = entries_.find(key);
-        it != entries_.end() && it->second == inserted) {
-      entries_.erase(it);
-    }
-    order_.pop_front();
+  // The 32-bit millisecond clock wraps (~49.7 days) and replicas feed the
+  // shared cache with slightly skewed clocks, so age is a serial-number
+  // difference, not a magnitude comparison: the naive `inserted + ttl < now`
+  // both leaked entries across the wrap (an old entry looked newer than
+  // `now`, wedging the FIFO and everything behind it — unbounded retention)
+  // and mass-expired fresh entries right after it.
+  while (!order_.empty()) {
+    const std::int32_t age_ms =
+        static_cast<std::int32_t>(now_ms - order_.front().first);
+    // A negative age means a non-monotone caller (clock skew): the front is
+    // from the local future. Keep it — it expires once now_ms catches up,
+    // and the hard capacity cap bounds memory meanwhile.
+    if (age_ms <= static_cast<std::int64_t>(ttl_ms_)) break;
+    drop_front();
   }
 }
 
@@ -22,6 +39,13 @@ bool ReplayCache::check_and_insert(const tcp::FlowKey& flow, std::uint32_t ts,
   if (entries_.contains(key)) {
     ++hits_;
     return true;
+  }
+  // Hard bound: TTL expiry already caps steady-state size at admission-rate
+  // x expiry-window, but a wedged clock must not translate into unbounded
+  // growth — shed oldest-first beyond the cap.
+  while (!order_.empty() && entries_.size() >= max_entries_) {
+    drop_front();
+    ++evictions_;
   }
   entries_.emplace(key, now_ms);
   order_.push_back({now_ms, key});

@@ -25,15 +25,28 @@ class ReplayCache {
  public:
   /// `ttl_ms` should be the puzzle expiry window plus clock slack: entries
   /// older than that cannot verify anywhere, so keeping them is pointless.
-  explicit ReplayCache(std::uint32_t ttl_ms) : ttl_ms_(ttl_ms) {}
+  /// `max_entries` is a hard memory bound on top of TTL expiry: replica
+  /// clock skew or a wedged clock cannot grow the cache past it (oldest
+  /// entries are shed first, counted in evictions()).
+  explicit ReplayCache(std::uint32_t ttl_ms,
+                       std::size_t max_entries = 1u << 20)
+      : ttl_ms_(ttl_ms), max_entries_(max_entries) {}
 
   /// True if (flow, ts) was already admitted somewhere in the fleet;
-  /// otherwise records it and returns false. `now_ms` drives expiry.
+  /// otherwise records it and returns false. `now_ms` drives expiry and is
+  /// compared wrap-safely (serial-number arithmetic), so callers across the
+  /// ~49.7-day millisecond wrap — or slightly out of order — stay correct.
   bool check_and_insert(const tcp::FlowKey& flow, std::uint32_t ts,
                         std::uint32_t now_ms);
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  /// FIFO bookkeeping length; >= size() only transiently (it never exceeds
+  /// size() today because entries are only erased when their FIFO record is
+  /// popped). Exposed so tests can assert the two structures stay in sync.
+  [[nodiscard]] std::size_t order_size() const { return order_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return max_entries_; }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
  private:
   struct Key {
@@ -49,11 +62,15 @@ class ReplayCache {
   };
 
   void expire(std::uint32_t now_ms);
+  /// Pops the FIFO front, erasing its map entry when it still matches.
+  void drop_front();
 
   std::uint32_t ttl_ms_;
+  std::size_t max_entries_;
   std::unordered_map<Key, std::uint32_t, KeyHash> entries_;  ///< -> insert time
   std::deque<std::pair<std::uint32_t, Key>> order_;          ///< FIFO by insert time
   std::uint64_t hits_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace tcpz::fleet

@@ -266,6 +266,10 @@ FleetResult run_fleet_scenario(const FleetScenarioConfig& fcfg) {
   }
 
   sim.run_until(cfg.duration);
+  // Deschedule the periodic control-plane timers (idle sweep, rotation)
+  // instead of leaving beyond-horizon tombstones in the queue.
+  lb->stop();
+  directory.stop(sim);
 
   FleetResult result;
   for (int i = 0; i < fcfg.n_replicas; ++i) {

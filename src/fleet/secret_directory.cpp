@@ -39,10 +39,10 @@ void SecretDirectory::expire_overlap() {
 }
 
 void SecretDirectory::rotation_loop(net::Simulator& sim, SimTime until) {
-  sim.schedule_in(cfg_.rotation_interval, [this, &sim, until] {
+  rotation_timer_ = sim.schedule_in(cfg_.rotation_interval, [this, &sim, until] {
     if (sim.now() >= until) return;
     rotate();
-    sim.schedule_in(cfg_.overlap, [this] { expire_overlap(); });
+    overlap_timer_ = sim.schedule_in(cfg_.overlap, [this] { expire_overlap(); });
     rotation_loop(sim, until);
   });
 }
@@ -50,6 +50,13 @@ void SecretDirectory::rotation_loop(net::Simulator& sim, SimTime until) {
 void SecretDirectory::start(net::Simulator& sim, SimTime until) {
   if (cfg_.rotation_interval <= SimTime::zero()) return;
   rotation_loop(sim, until);
+}
+
+void SecretDirectory::stop(net::Simulator& sim) {
+  (void)sim.cancel(rotation_timer_);
+  (void)sim.cancel(overlap_timer_);
+  rotation_timer_.reset();
+  overlap_timer_.reset();
 }
 
 }  // namespace tcpz::fleet

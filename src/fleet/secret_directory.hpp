@@ -71,6 +71,8 @@ class SecretDirectory {
   /// Schedules periodic rotation (and the matching overlap expiries) on the
   /// simulator until `until`. No-op when rotation_interval is zero.
   void start(net::Simulator& sim, SimTime until);
+  /// Deschedules the pending rotation and overlap-expiry timers.
+  void stop(net::Simulator& sim);
 
  private:
   [[nodiscard]] static crypto::SecretKey derive(std::uint64_t seed,
@@ -82,6 +84,8 @@ class SecretDirectory {
   crypto::SecretKey secret_;
   std::shared_ptr<const puzzle::PuzzleEngine> engine_;
   std::vector<tcp::Listener*> subscribers_;
+  net::TimerHandle rotation_timer_;
+  net::TimerHandle overlap_timer_;
 };
 
 }  // namespace tcpz::fleet

@@ -1,0 +1,311 @@
+#include "net/event_core.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace tcpz::net {
+
+using detail::EventLoc;
+using detail::EventRec;
+using detail::HeapEntry;
+
+namespace {
+
+constexpr std::size_t kChunkRecords = 1024;
+
+/// Min-heap order over staging entries: earliest (at, seq) at the front.
+struct LaterEntry {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+EventCore::~EventCore() {
+  // Chunk storage owns the records; destroy any closures still pending so
+  // captured resources (shared_ptrs etc.) are released.
+  for (auto& chunk : chunks_) {
+    for (std::size_t i = 0; i < kChunkRecords; ++i) chunk[i].action.reset();
+  }
+}
+
+int EventCore::SlotBitmap::next_set_from(unsigned from) const {
+  if (from >= kWheelSlots) return -1;
+  unsigned word = from >> 6;
+  std::uint64_t bits = w[word] & (~0ull << (from & 63));
+  for (;;) {
+    if (bits != 0) {
+      return static_cast<int>((word << 6) +
+                              static_cast<unsigned>(std::countr_zero(bits)));
+    }
+    if (++word >= kWheelSlots / 64) return -1;
+    bits = w[word];
+  }
+}
+
+EventRec* EventCore::alloc() {
+  if (free_list_ == nullptr) {
+    chunks_.push_back(std::make_unique<EventRec[]>(kChunkRecords));
+    EventRec* chunk = chunks_.back().get();
+    for (std::size_t i = 0; i < kChunkRecords; ++i) {
+      chunk[i].next = free_list_;
+      free_list_ = &chunk[i];
+    }
+  }
+  EventRec* rec = free_list_;
+  free_list_ = rec->next;
+  rec->prev = nullptr;
+  rec->next = nullptr;
+  return rec;
+}
+
+void EventCore::recycle(EventRec* rec) {
+  ++rec->gen;  // invalidate outstanding handles
+  rec->loc = EventLoc::kFree;
+  rec->next = free_list_;
+  free_list_ = rec;
+}
+
+void EventCore::link(EventRec* rec) {
+  const std::uint64_t at_tick = tick_of(rec->at);
+  if (at_tick <= cur_tick_) {
+    // The cursor already swept this tick: the record competes directly in
+    // the ordered near heap.
+    rec->loc = EventLoc::kOrdered;
+    near_.push_back(HeapEntry{rec->at, rec->seq, rec});
+    std::push_heap(near_.begin(), near_.end(), LaterEntry{});
+    return;
+  }
+  const std::uint64_t delta = at_tick - cur_tick_;
+  if (delta >= (1ull << (kSlotBits * kWheelLevels))) {
+    rec->loc = EventLoc::kOrdered;
+    far_.push_back(HeapEntry{rec->at, rec->seq, rec});
+    std::push_heap(far_.begin(), far_.end(), LaterEntry{});
+    return;
+  }
+  // Level l covers deltas in [2^(8l), 2^(8(l+1))); the slot index is the
+  // target tick's digit at that level, so a record cascades at most once per
+  // level on its way down.
+  const unsigned level =
+      (static_cast<unsigned>(std::bit_width(delta)) - 1) / kSlotBits;
+  const unsigned slot =
+      static_cast<unsigned>(at_tick >> (kSlotBits * level)) & (kWheelSlots - 1);
+  rec->loc = EventLoc::kWheel;
+  rec->level = static_cast<std::uint8_t>(level);
+  rec->slot = static_cast<std::uint8_t>(slot);
+  rec->prev = nullptr;
+  rec->next = wheel_[level][slot];
+  if (rec->next != nullptr) rec->next->prev = rec;
+  wheel_[level][slot] = rec;
+  occupied_[level].set(slot);
+}
+
+void EventCore::unlink_from_wheel(EventRec* rec) {
+  if (rec->prev != nullptr) {
+    rec->prev->next = rec->next;
+  } else {
+    wheel_[rec->level][rec->slot] = rec->next;
+  }
+  if (rec->next != nullptr) rec->next->prev = rec->prev;
+  if (wheel_[rec->level][rec->slot] == nullptr) {
+    occupied_[rec->level].clear(rec->slot);
+  }
+  rec->prev = nullptr;
+  rec->next = nullptr;
+}
+
+bool EventCore::cancel(TimerHandle h) {
+  EventRec* rec = h.rec_;
+  if (rec == nullptr || rec->gen != h.gen_ || rec->cancelled) return false;
+  switch (rec->loc) {
+    case EventLoc::kWheel:
+      // O(1) splice — the dominant case: retransmit/expiry timers park in
+      // the wheel until descheduled, and the record recycles immediately.
+      unlink_from_wheel(rec);
+      rec->action.reset();
+      recycle(rec);
+      break;
+    case EventLoc::kOrdered:
+      // The ordered stages hold entries we cannot cheaply extract; drop the
+      // closure now and let the pop path discard the skeleton.
+      rec->cancelled = true;
+      rec->action.reset();
+      ++stage_cancelled_;
+      break;
+    case EventLoc::kFree:
+    case EventLoc::kExecuting:
+      return false;
+  }
+  --live_;
+  ++cancelled_total_;
+  return true;
+}
+
+std::uint64_t EventCore::next_occupied_tick() const {
+  // Searches levels bottom-up. An in-window candidate at level l starts
+  // before the level-l window ends, while every candidate at levels > l (and
+  // every wrap candidate) starts at or after that boundary — so the first
+  // in-window hit ends the search, and the common case costs one bitmap
+  // scan. Wrap candidates (slots at or before the cursor's own index belong
+  // to the next revolution: insertion never targets a swept slot) from the
+  // levels below a hit still compete via `best`.
+  std::uint64_t best = UINT64_MAX;
+  for (unsigned level = 0; level < kWheelLevels; ++level) {
+    const unsigned shift = kSlotBits * level;
+    const unsigned idx =
+        static_cast<unsigned>(cur_tick_ >> shift) & (kWheelSlots - 1);
+    const std::uint64_t window = 1ull << (shift + kSlotBits);
+    const std::uint64_t window_start = cur_tick_ & ~(window - 1);
+    int j = occupied_[level].next_set_from(idx + 1);
+    if (j >= 0) {
+      return std::min(best,
+                      window_start + (static_cast<std::uint64_t>(j) << shift));
+    }
+    j = occupied_[level].next_set_from(0);
+    if (j >= 0 && static_cast<unsigned>(j) <= idx) {
+      best = std::min(
+          best, window_start + window + (static_cast<std::uint64_t>(j) << shift));
+    }
+  }
+  return best;
+}
+
+void EventCore::expire_slot(unsigned level, unsigned slot) {
+  EventRec* rec = wheel_[level][slot];
+  wheel_[level][slot] = nullptr;
+  occupied_[level].clear(slot);
+  if (level == 0) {
+    // A level-0 slot is one tick wide and fires as a unit: drain it into
+    // the sorted fire batch in one pass — one sort per slot, not one heap
+    // sift per event. Walking the list here also warms each record for the
+    // fire that follows within the same tick. Spent prefix space is
+    // reclaimed first.
+    if (batch_idx_ > 0) {
+      batch_.erase(batch_.begin(),
+                   batch_.begin() + static_cast<std::ptrdiff_t>(batch_idx_));
+      batch_idx_ = 0;
+    }
+    const std::size_t first_new = batch_.size();
+    while (rec != nullptr) {
+      EventRec* next = rec->next;
+      rec->prev = nullptr;
+      rec->next = nullptr;
+      rec->loc = EventLoc::kOrdered;
+      batch_.push_back(HeapEntry{rec->at, rec->seq, rec});
+      rec = next;
+    }
+    // Leftovers (from an earlier run_until bound) are already sorted and
+    // strictly precede the new tick; sorting only the tail keeps the whole
+    // vector ascending.
+    std::sort(batch_.begin() + static_cast<std::ptrdiff_t>(first_new),
+              batch_.end(), [](const HeapEntry& a, const HeapEntry& b) {
+                return LaterEntry{}(b, a);
+              });
+    return;
+  }
+  // Upper-level slots re-file one level (or more) down; records landing on
+  // the current tick go to the near heap.
+  while (rec != nullptr) {
+    EventRec* next = rec->next;
+    rec->prev = nullptr;
+    rec->next = nullptr;
+    link(rec);
+    rec = next;
+  }
+}
+
+bool EventCore::advance_cursor(std::uint64_t bound) {
+  while (cur_tick_ < bound) {
+    const std::uint64_t next = next_occupied_tick();
+    if (next > bound) {
+      cur_tick_ = bound;
+      return false;
+    }
+    cur_tick_ = next;
+    // Expire every level whose slot starts exactly here, upper levels first
+    // so cascaded entries land in already-swept lower slots or the stage —
+    // then stop: cascading only the nearest occupied slot keeps the rest of
+    // the wheel staged instead of collapsing it into the near heap.
+    bool expired_any = false;
+    for (unsigned l = kWheelLevels; l-- > 0;) {
+      if (l > 0 && (cur_tick_ & ((1ull << (kSlotBits * l)) - 1)) != 0) continue;
+      const unsigned idx =
+          static_cast<unsigned>(cur_tick_ >> (kSlotBits * l)) & (kWheelSlots - 1);
+      if (occupied_[l].test(idx)) {
+        expire_slot(l, idx);
+        expired_any = true;
+      }
+    }
+    if (expired_any) return true;
+  }
+  return false;
+}
+
+void EventCore::prune(std::vector<HeapEntry>& heap) {
+  while (!heap.empty() && heap.front().rec->cancelled) {
+    std::pop_heap(heap.begin(), heap.end(), LaterEntry{});
+    recycle(heap.back().rec);
+    heap.pop_back();
+    --stage_cancelled_;
+  }
+}
+
+EventRec* EventCore::pop_next(SimTime end) {
+  for (;;) {
+    // Skip cancelled skeletons — free when nothing is cancelled.
+    if (stage_cancelled_ != 0) {
+      while (batch_idx_ < batch_.size() && batch_[batch_idx_].rec->cancelled) {
+        recycle(batch_[batch_idx_].rec);
+        ++batch_idx_;
+        --stage_cancelled_;
+      }
+      prune(near_);
+      prune(far_);
+    }
+    const HeapEntry* b =
+        batch_idx_ < batch_.size() ? &batch_[batch_idx_] : nullptr;
+    const HeapEntry* n = near_.empty() ? nullptr : &near_.front();
+    const HeapEntry* f = far_.empty() ? nullptr : &far_.front();
+    const HeapEntry* best = b;
+    if (best == nullptr || (n != nullptr && LaterEntry{}(*best, *n))) best = n;
+    if (best == nullptr || (f != nullptr && LaterEntry{}(*best, *f))) best = f;
+    const auto take = [&](const HeapEntry* chosen) {
+      EventRec* rec = chosen->rec;
+      if (chosen == b) {
+        ++batch_idx_;
+      } else {
+        auto& heap = chosen == n ? near_ : far_;
+        std::pop_heap(heap.begin(), heap.end(), LaterEntry{});
+        heap.pop_back();
+      }
+      return rec;
+    };
+    // Fast path: the wheel only holds ticks beyond the cursor, so a staged
+    // entry at or before the cursor cannot be preceded by anything parked.
+    if (best != nullptr && tick_of(best->at) <= cur_tick_) {
+      if (best->at > end) return nullptr;
+      return take(best);
+    }
+    std::uint64_t bound = tick_of(end);
+    if (best != nullptr) bound = std::min(bound, tick_of(best->at));
+    if (!advance_cursor(bound)) {
+      // No wheel content up to the bound: the staged top (in range) wins.
+      if (best == nullptr || best->at > end) return nullptr;
+      return take(best);
+    }
+    // Slots cascaded into the ordered stage; re-evaluate.
+  }
+}
+
+void EventCore::execute_and_recycle(EventRec* rec) {
+  rec->loc = EventLoc::kExecuting;
+  // One fused indirect call runs the action (which may schedule or cancel
+  // other events re-entrantly) and destroys the closure.
+  rec->action.call_and_reset();
+  --live_;
+  recycle(rec);
+}
+
+}  // namespace tcpz::net

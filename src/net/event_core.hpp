@@ -1,0 +1,278 @@
+// Event core of the discrete-event simulator: a hierarchical timer wheel
+// feeding an ordered near-future stage, over a pool of recycled event
+// records.
+//
+// The seed implementation was one std::priority_queue<std::function<void()>>:
+// every scheduled packet paid a heap allocation for the closure and a second
+// one when the std::function was copied out of the (const) queue top, and
+// every sift moved 48-byte elements. That caps scenario size far below the
+// fleet-scale botnet sweeps the roadmap asks for. This core removes the
+// allocations and keeps the hot path cache-local:
+//
+//  * Event records come from a chunked pool and are recycled through a free
+//    list; the callable is constructed in-place into a fixed inline buffer
+//    (kInlineActionBytes, sized so the link-layer segment-delivery closure —
+//    the hottest event in any scenario — fits; oversized closures fall back
+//    to the heap but nothing on the packet path does).
+//  * Records parked in wheel slots form intrusive doubly-linked lists
+//    (O(1) insert and O(1) cancel); the near/far heaps and the fire batch
+//    hold 24-byte (timestamp, seq, record*) entries with the ordering key
+//    inline, so sift compares never dereference a record.
+//
+// Ordering is exactly the seed queue's: events fire by (timestamp, schedule
+// sequence number). The wheel only *stages* far-out events; before anything
+// fires, every entry whose slot the cursor has reached cascades down and the
+// expiring level-0 slot is sorted into the fire batch, which restores the
+// total (at, seq) order. A given scenario seed therefore produces the
+// identical packet trace the seed priority queue produced.
+//
+// Layout: the wheel has kWheelLevels levels of kWheelSlots slots over
+// kTickNanosBits-nanosecond ticks (65.536 us). Level 0 spans ~16.8 ms,
+// level 1 ~4.3 s, level 2 ~18 min, level 3 ~3.26 days. Events beyond the
+// wheel horizon overflow into a far-future heap and are compared against the
+// staged entries by (at, seq) at pop time, so overflow costs ordering
+// nothing.
+//
+// Cancellation: schedule() returns a TimerHandle (record pointer + record
+// generation). cancel() on a wheel-resident record unlinks and recycles it
+// immediately — O(1), and the dominant case: retransmit/expiry timers park
+// in the wheel until descheduled. Records already in an ordered stage have
+// their closure destroyed in place and the skeleton entry is dropped lazily
+// at pop time. Either way the action never runs — cancelled timers do not
+// fire as tombstones — and the generation check makes stale handles
+// (including handles to since-recycled records) a safe no-op.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace tcpz::net {
+
+class EventCore;
+
+namespace detail {
+
+/// Inline storage for an event's callable. 176 bytes fits the link layer's
+/// delivery closure (a Link* plus a tcp::Segment by value, 160 bytes today);
+/// event_core_test statically checks representative closure sizes.
+inline constexpr std::size_t kInlineActionBytes = 176;
+
+/// Type-erased, non-copyable callable with inline small-buffer storage.
+class EventAction {
+ public:
+  EventAction() = default;
+  ~EventAction() { reset(); }
+  EventAction(const EventAction&) = delete;
+  EventAction& operator=(const EventAction&) = delete;
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineActionBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      target_ = ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      // One indirect call on the fire path: invoke and destroy fused.
+      invoke_destroy_ = [](void* p) {
+        Fn* f = static_cast<Fn*>(p);
+        (*f)();
+        f->~Fn();
+      };
+      destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+    } else {
+      target_ = new Fn(std::forward<F>(fn));
+      invoke_destroy_ = [](void* p) {
+        Fn* f = static_cast<Fn*>(p);
+        (*f)();
+        delete f;
+      };
+      destroy_ = [](void* p) { delete static_cast<Fn*>(p); };
+    }
+  }
+
+  /// Runs the callable and destroys it (the fire path). The callable may
+  /// re-enter the core (schedule/cancel) freely.
+  void call_and_reset() {
+    auto* fn = invoke_destroy_;
+    void* target = target_;
+    invoke_destroy_ = nullptr;
+    destroy_ = nullptr;
+    target_ = nullptr;
+    fn(target);
+  }
+
+  /// Destroys the callable without running it (cancel/teardown path).
+  void reset() {
+    if (destroy_ != nullptr) {
+      destroy_(target_);
+      destroy_ = nullptr;
+      invoke_destroy_ = nullptr;
+      target_ = nullptr;
+    }
+  }
+
+ private:
+  void (*invoke_destroy_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  void* target_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineActionBytes];
+};
+
+/// Where a live record currently lives (drives cancel/recycle paths).
+enum class EventLoc : std::uint8_t {
+  kFree,       ///< on the pool free list
+  kOrdered,    ///< near heap, far heap, or the sorted fire batch
+  kWheel,      ///< parked in a wheel slot's intrusive list
+  kExecuting,  ///< action currently running (cannot be cancelled)
+};
+
+struct EventRec {
+  SimTime at;
+  std::uint64_t seq = 0;  ///< global schedule order; ties fire in this order
+  std::uint64_t gen = 0;  ///< bumped on recycle; validates TimerHandles
+  EventRec* prev = nullptr;  ///< intrusive wheel-slot list / free-list link
+  EventRec* next = nullptr;
+  EventLoc loc = EventLoc::kFree;
+  bool cancelled = false;
+  std::uint8_t level = 0;  ///< wheel position, valid when loc == kWheel
+  std::uint8_t slot = 0;
+  EventAction action;
+};
+
+/// Staging entry: the ordering key inline so wheel slots, heaps and the fire
+/// batch never dereference the record to compare or cascade.
+struct HeapEntry {
+  SimTime at;
+  std::uint64_t seq;
+  EventRec* rec;
+};
+
+}  // namespace detail
+
+/// Handle to a scheduled event. Default-constructed handles are inert; a
+/// handle stays safe to hold (and to cancel) after the event fired or was
+/// recycled — the generation check turns stale cancels into no-ops.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  /// True if the handle was ever bound to a scheduled event (it may have
+  /// fired since; use Simulator::cancel's return value for liveness).
+  [[nodiscard]] explicit operator bool() const { return rec_ != nullptr; }
+
+  void reset() {
+    rec_ = nullptr;
+    gen_ = 0;
+  }
+
+ private:
+  friend class EventCore;
+  TimerHandle(detail::EventRec* rec, std::uint64_t gen) : rec_(rec), gen_(gen) {}
+
+  detail::EventRec* rec_ = nullptr;
+  std::uint64_t gen_ = 0;
+};
+
+class EventCore {
+ public:
+  /// One level-0 tick is 2^16 ns = 65.536 us; the 4x256-slot hierarchy then
+  /// spans 2^48 ns (~3.26 simulated days) before overflowing to the far heap.
+  static constexpr unsigned kTickNanosBits = 16;
+  static constexpr unsigned kSlotBits = 8;
+  static constexpr unsigned kWheelSlots = 1u << kSlotBits;
+  static constexpr unsigned kWheelLevels = 4;
+
+  EventCore() = default;
+  ~EventCore();
+  EventCore(const EventCore&) = delete;
+  EventCore& operator=(const EventCore&) = delete;
+
+  template <typename F>
+  TimerHandle schedule(SimTime at, F&& fn) {
+    detail::EventRec* rec = alloc();
+    rec->at = at;
+    rec->seq = next_seq_++;
+    rec->cancelled = false;
+    rec->action.emplace(std::forward<F>(fn));
+    link(rec);
+    ++live_;
+    return TimerHandle{rec, rec->gen};
+  }
+
+  /// Deschedules the event if it has not fired; its action never runs and is
+  /// destroyed eagerly. Returns false for stale/spent/foreign handles.
+  bool cancel(TimerHandle h);
+
+  /// Pops the earliest event with at <= end in exact (at, seq) order, or
+  /// nullptr. The caller must pass the record to execute_and_recycle().
+  detail::EventRec* pop_next(SimTime end);
+
+  /// Runs the record's action (which may schedule or cancel other events),
+  /// then returns the record to the pool.
+  void execute_and_recycle(detail::EventRec* rec);
+
+  [[nodiscard]] std::size_t live() const { return live_; }
+  [[nodiscard]] std::uint64_t cancelled_total() const { return cancelled_total_; }
+
+ private:
+  struct SlotBitmap {
+    std::uint64_t w[kWheelSlots / 64] = {};
+    void set(unsigned i) { w[i >> 6] |= 1ull << (i & 63); }
+    void clear(unsigned i) { w[i >> 6] &= ~(1ull << (i & 63)); }
+    [[nodiscard]] bool test(unsigned i) const {
+      return (w[i >> 6] >> (i & 63)) & 1u;
+    }
+    /// First set slot index >= from, or -1.
+    [[nodiscard]] int next_set_from(unsigned from) const;
+  };
+
+  static std::uint64_t tick_of(SimTime t) {
+    return static_cast<std::uint64_t>(t.nanos()) >> kTickNanosBits;
+  }
+
+  detail::EventRec* alloc();
+  void recycle(detail::EventRec* rec);
+  /// Files a record under the cursor: current-tick records go to the near
+  /// heap, in-horizon records to a wheel slot, the rest to the far heap.
+  void link(detail::EventRec* rec);
+  void unlink_from_wheel(detail::EventRec* rec);
+  /// Earliest occupied slot start across all levels as an absolute tick
+  /// (UINT64_MAX if the wheel is empty), looking one revolution ahead.
+  [[nodiscard]] std::uint64_t next_occupied_tick() const;
+  /// Moves the cursor to `bound`, cascading the first occupied slot start it
+  /// reaches (level 0 into the sorted fire batch, upper levels one or more
+  /// levels down). Returns true if any slot was expired.
+  bool advance_cursor(std::uint64_t bound);
+  void expire_slot(unsigned level, unsigned slot);
+  /// Drops cancelled skeletons from the top of a heap.
+  void prune(std::vector<detail::HeapEntry>& heap);
+
+  /// Expired level-0 slot contents, sorted by (at, seq) and consumed by
+  /// index: the bulk fire path pays one sort per slot instead of a heap
+  /// sift per event. Entries before batch_idx_ are spent.
+  std::vector<detail::HeapEntry> batch_;
+  std::size_t batch_idx_ = 0;
+  std::vector<detail::HeapEntry> near_;  ///< min-heap by (at, seq)
+  std::vector<detail::HeapEntry> far_;   ///< min-heap by (at, seq)
+  /// Cancelled records still represented by a staged skeleton entry. Zero on
+  /// the hot path -> no cancelled checks at all.
+  std::uint64_t stage_cancelled_ = 0;
+
+  detail::EventRec* wheel_[kWheelLevels][kWheelSlots] = {};
+  SlotBitmap occupied_[kWheelLevels];
+  std::uint64_t cur_tick_ = 0;  ///< all ticks <= cur_tick_ are cascaded out
+
+  std::vector<std::unique_ptr<detail::EventRec[]>> chunks_;
+  detail::EventRec* free_list_ = nullptr;
+
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t cancelled_total_ = 0;
+};
+
+}  // namespace tcpz::net

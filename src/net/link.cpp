@@ -38,8 +38,14 @@ void Link::transmit(const tcp::Segment& seg) {
   ++stats_.tx_packets;
   stats_.tx_bytes += bytes;
 
-  // The segment is copied into the closure: the wire owns its packet.
-  sim_.schedule_at(arrival, [this, seg] { dst_.deliver(seg); });
+  // The segment is copied into the closure: the wire owns its packet. This
+  // is the hottest event in any scenario, so the closure must fit the event
+  // core's inline buffer — per-packet heap allocation would cap fleet-scale
+  // runs (see net/event_core.hpp).
+  auto deliver = [this, seg] { dst_.deliver(seg); };
+  static_assert(sizeof(deliver) <= detail::kInlineActionBytes,
+                "segment delivery closure must stay allocation-free");
+  sim_.schedule_at(arrival, std::move(deliver));
 }
 
 }  // namespace tcpz::net

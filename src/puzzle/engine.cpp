@@ -49,13 +49,26 @@ bool prefix_matches(const Bytes& preimage, const crypto::Sha256Digest& digest,
   return crypto::prefix_bits_equal(p, digest, m_bits);
 }
 
-/// Timestamp freshness shared by both engines.
+/// Timestamp freshness shared by both engines. The 32-bit millisecond wire
+/// timestamp wraps every ~49.7 simulated days, so the comparison uses
+/// serial-number arithmetic (RFC 1982 style): the signed difference decides
+/// which side of "now" the echo sits on, and is exact as long as the true
+/// skew is under ~24.8 days — astronomically beyond any puzzle expiry. The
+/// naive `echoed + expiry < now` form misfired at the wrap: a fresh solution
+/// echoed just before the wrap looked like it came from the far future.
 VerifyError check_freshness(std::uint32_t echoed_ms, std::uint32_t now_ms,
                             const EngineConfig& cfg) {
-  if (echoed_ms > now_ms + cfg.future_slack_ms) {
-    return VerifyError::kFutureTimestamp;
+  const std::int32_t age_ms = static_cast<std::int32_t>(now_ms - echoed_ms);
+  if (age_ms < 0) {
+    // Negate through int64: -INT32_MIN does not fit an int32.
+    const auto ahead_ms =
+        static_cast<std::uint32_t>(-static_cast<std::int64_t>(age_ms));
+    if (ahead_ms > cfg.future_slack_ms) return VerifyError::kFutureTimestamp;
+    return VerifyError::kNone;
   }
-  if (echoed_ms + cfg.expiry_ms < now_ms) return VerifyError::kExpired;
+  if (static_cast<std::uint32_t>(age_ms) > cfg.expiry_ms) {
+    return VerifyError::kExpired;
+  }
   return VerifyError::kNone;
 }
 

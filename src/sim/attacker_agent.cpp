@@ -91,7 +91,7 @@ void AttackerAgent::launch_attempt(SimTime now) {
   ccfg.max_syn_retries = 0;  // flood tools do not retransmit
 
   auto [it, inserted] = attempts_.emplace(
-      sport, Attempt{tcp::Connector(ccfg, rng_.next()), now, 0});
+      sport, Attempt{tcp::Connector(ccfg, rng_.next()), now, {}});
   report_.attempts.add(now, 1.0);
   ++report_.total_attempts;
   apply(now, sport, it->second.connector.start(now));
@@ -159,12 +159,13 @@ void AttackerAgent::apply(SimTime now, std::uint16_t sport,
         cfg_.solve_ops_rate > 0 ? cfg_.solve_ops_rate : cfg_.cpu.hash_rate;
     const SimTime done = cpu_.submit_solve_at_rate(now, hash_ops, rate);
     ++pending_solves_;
-    const std::uint64_t token = next_solve_token_++;
-    attempt.solve_token = token;
-    sim_.schedule_at(done, [this, sport, token, solution] {
+    // Cancellable completion: erase_attempt deschedules it, so the event
+    // only ever fires for the attempt that scheduled it (a recycled sport
+    // always carries a fresh timer).
+    attempt.solve_timer = sim_.schedule_at(done, [this, sport, solution] {
       --pending_solves_;
       const auto it2 = attempts_.find(sport);
-      if (it2 == attempts_.end() || it2->second.solve_token != token) return;
+      if (it2 == attempts_.end()) return;
       const SimTime t = sim_.now();
       apply(t, sport, it2->second.connector.on_solved(t, solution));
     });
@@ -176,7 +177,7 @@ void AttackerAgent::apply(SimTime now, std::uint16_t sport,
     // in-flight slot is recycled immediately.
     report_.established.add(now, 1.0);
     ++report_.total_established;
-    attempts_.erase(sport);
+    erase_attempt(it);
     return;
   }
 
@@ -184,8 +185,13 @@ void AttackerAgent::apply(SimTime now, std::uint16_t sport,
     if (out.reason == tcp::ConnectFail::kReset) ++report_.total_rsts;
     report_.failures.add(now, 1.0);
     ++report_.total_failures;
-    attempts_.erase(sport);
+    erase_attempt(it);
   }
+}
+
+void AttackerAgent::erase_attempt(AttemptMap::iterator it) {
+  if (sim_.cancel(it->second.solve_timer)) --pending_solves_;
+  attempts_.erase(it);
 }
 
 void AttackerAgent::on_segment(SimTime now, const tcp::Segment& seg) {
@@ -202,7 +208,7 @@ void AttackerAgent::on_segment(SimTime now, const tcp::Segment& seg) {
     send_all({make_bogus_solution_ack(now, seg)});
     report_.established.add(now, 1.0);  // it *believes* it connected
     ++report_.total_established;
-    attempts_.erase(seg.dport);
+    erase_attempt(it);
     return;
   }
 
@@ -221,7 +227,7 @@ void AttackerAgent::tick_loop() {
     for (const auto& [sport, attempt] : attempts_) {
       const bool solving =
           attempt.connector.state() == tcp::ConnectorState::kSolving &&
-          attempt.solve_token != 0;
+          static_cast<bool>(attempt.solve_timer);
       const SimTime limit =
           solving ? cfg_.attempt_timeout * 3 : cfg_.attempt_timeout;
       if (t - attempt.started > limit) stale.push_back(sport);
@@ -229,7 +235,9 @@ void AttackerAgent::tick_loop() {
     for (const std::uint16_t sport : stale) {
       report_.failures.add(t, 1.0);
       ++report_.total_failures;
-      attempts_.erase(sport);
+      // Descheduling the admitted solve models the tool closing its socket:
+      // the queued search is abandoned rather than firing as a tombstone.
+      erase_attempt(attempts_.find(sport));
     }
     if (t < cfg_.attack_end) tick_loop();
   });

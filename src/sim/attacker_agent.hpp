@@ -78,8 +78,12 @@ class AttackerAgent {
   struct Attempt {
     tcp::Connector connector;
     SimTime started;
-    std::uint64_t solve_token = 0;
+    /// Pending (or spent) solve-completion timer. Erasing an attempt cancels
+    /// it, so a completion never fires for a dead or recycled source port.
+    net::TimerHandle solve_timer;
   };
+
+  using AttemptMap = std::unordered_map<std::uint16_t, Attempt>;
 
   void on_segment(SimTime now, const tcp::Segment& seg);
   void flood_loop();
@@ -89,6 +93,8 @@ class AttackerAgent {
   void send_spoofed_syn(SimTime now);
   void apply(SimTime now, std::uint16_t sport, tcp::ConnectorOutput out);
   void send_all(const std::vector<tcp::Segment>& segs);
+  /// Erases an attempt, descheduling any in-flight solve completion.
+  void erase_attempt(AttemptMap::iterator it);
   [[nodiscard]] tcp::Segment make_bogus_solution_ack(SimTime now,
                                                      const tcp::Segment& synack);
 
@@ -100,10 +106,9 @@ class AttackerAgent {
   HostReport report_;
   SimTime until_;
 
-  std::unordered_map<std::uint16_t, Attempt> attempts_;
+  AttemptMap attempts_;
   std::uint16_t next_sport_ = 1024;
   int pending_solves_ = 0;
-  std::uint64_t next_solve_token_ = 1;
 };
 
 }  // namespace tcpz::sim

@@ -66,7 +66,13 @@ class ClientAgent {
     SimTime deadline;
     bool request_sent = false;
     std::uint64_t rx_payload = 0;
-    std::uint64_t solve_token = 0;  ///< guards stale solve completions
+    /// Guards stale solve completions. Unlike the attacker's solve timers,
+    /// the client's completion events are NOT descheduled when an attempt
+    /// dies: the in-kernel search keeps a solver lane busy until it finishes
+    /// even when connect() has given up, and pending_solves_ (which gates
+    /// max_pending_solves backpressure) must stay elevated until then. The
+    /// completion event carries that accounting, so it is not a tombstone.
+    std::uint64_t solve_token = 0;
   };
 
   void on_segment(SimTime now, const tcp::Segment& seg);

@@ -238,6 +238,12 @@ class Listener {
       const crypto::SecretKey& secret, const FlowKey& flow, std::uint32_t ts);
   void establish(SimTime now, const AcceptedConnection& conn);
 
+  /// Truncation to the 32-bit millisecond wire clock (TCP timestamps and the
+  /// challenge/solution blocks are 32-bit on the wire). This wraps every
+  /// ~49.7 simulated days BY DESIGN; every consumer — challenge freshness
+  /// (puzzle::check_freshness), the replay cache TTL and the cookie counter
+  /// — therefore compares timestamps with wrap-safe serial-number
+  /// arithmetic, never with raw magnitude. See DESIGN.md, "Time discipline".
   [[nodiscard]] static std::uint32_t to_ms(SimTime t) {
     return static_cast<std::uint32_t>(t.nanos() / 1'000'000);
   }

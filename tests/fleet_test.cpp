@@ -381,6 +381,139 @@ TEST(ReplayCache, ExpiresEntriesWithTheChallengeWindow) {
   EXPECT_EQ(cache.hits(), 1u);
 }
 
+TEST(ReplayCache, HardCapShedsOldestFirst) {
+  // TTL far in the future: only the capacity bound can evict.
+  ReplayCache cache(/*ttl_ms=*/1'000'000, /*max_entries=*/4);
+  tcp::FlowKey flow{kClientAddr, 0, kVip, kPort};
+  for (std::uint16_t p = 1; p <= 6; ++p) {
+    flow.rport = p;
+    EXPECT_FALSE(cache.check_and_insert(flow, p, 1000u + p));
+    EXPECT_LE(cache.size(), 4u);
+  }
+  EXPECT_EQ(cache.evictions(), 2u);
+  // The two oldest are gone (re-insert instead of hit)...
+  flow.rport = 1;
+  EXPECT_FALSE(cache.check_and_insert(flow, 1, 2000));
+  // ...while the newest survivors are still replays.
+  flow.rport = 6;
+  EXPECT_TRUE(cache.check_and_insert(flow, 6, 2000));
+}
+
+TEST(ReplayCache, PropertyBoundedAndConsistentUnderSkewedWrappingClocks) {
+  // Replicas feed the shared cache with skewed clocks (+-500 ms here), so
+  // now_ms is non-monotone, and the run crosses the 32-bit millisecond wrap.
+  // Properties: (1) the FIFO and the map never desynchronize, (2) memory
+  // stays bounded by admission-rate x (ttl + skew), (3) a solution admitted
+  // recently enough that no replica can have expired it is ALWAYS detected
+  // as a replay — the security property the fleet pays memory for.
+  constexpr std::uint32_t kTtlMs = 3'000;
+  constexpr std::uint32_t kSkewMs = 500;
+  ReplayCache cache(kTtlMs);
+  Rng rng(99);
+  // True time starts 60 s before the wrap and advances ~10 ms per step.
+  std::uint64_t true_ms = (1ull << 32) - 60'000;
+  std::vector<std::pair<tcp::FlowKey, std::uint32_t>> recent;  // ring buffer
+  std::size_t max_size = 0;
+
+  for (int step = 0; step < 20'000; ++step) {
+    true_ms += rng.uniform_u64(20);
+    const auto now = static_cast<std::uint32_t>(
+        true_ms + rng.uniform_u64(2 * kSkewMs) - kSkewMs);
+    tcp::FlowKey flow{kClientAddr + static_cast<std::uint32_t>(
+                                        rng.uniform_u64(1u << 16)),
+                      static_cast<std::uint16_t>(1024 + rng.uniform_u64(60'000)),
+                      kVip, kPort};
+    const auto ts = static_cast<std::uint32_t>(true_ms);
+    if (!cache.check_and_insert(flow, ts, now)) {
+      recent.emplace_back(flow, ts);
+    }
+    // Immediate duplicate must always hit.
+    ASSERT_TRUE(cache.check_and_insert(flow, ts, now)) << "step " << step;
+
+    if (step % 64 == 0 && recent.size() > 100) {
+      // A key admitted ~100 insertions (~1-2 s of true time) ago is younger
+      // than ttl - skew from every replica's perspective: must still hit.
+      const auto& [f, t] = recent[recent.size() - 100];
+      ASSERT_TRUE(cache.check_and_insert(f, t, now)) << "step " << step;
+      recent.erase(recent.begin(), recent.end() - 100);
+    }
+    ASSERT_EQ(cache.order_size(), cache.size()) << "FIFO/map desync, step "
+                                                << step;
+    max_size = std::max(max_size, cache.size());
+  }
+  // ~1 admission / 10 ms over a (ttl + 2*skew) = 4 s window ≈ 400 live
+  // entries; 3x margin for arrival bursts.
+  EXPECT_LE(max_size, 1200u);
+  EXPECT_GT(max_size, 100u);  // the flood actually filled the cache
+  EXPECT_EQ(cache.evictions(), 0u);  // TTL, not the cap, did the bounding
+}
+
+// ---------------------------------------------------------------------------
+// Least-connections flow table under a spoofed-SYN flood: handshakes never
+// complete, no FIN/RST ever ends a tracked flow — only the idle sweep keeps
+// flows_ bounded.
+// ---------------------------------------------------------------------------
+
+TEST(LoadBalancer, IdleSweepBoundsFlowTableUnderSpoofedSynFlood) {
+  net::Simulator sim;
+  net::Topology topo(sim);
+  LoadBalancerConfig cfg;
+  cfg.vip = kVip;
+  cfg.policy = BalancePolicy::kLeastConnections;
+  cfg.flow_idle_timeout = SimTime::seconds(2);
+  cfg.sweep_interval = SimTime::seconds(1);
+  auto* lb = static_cast<LoadBalancer*>(
+      topo.add_node(std::make_unique<LoadBalancer>(sim, "lb", cfg)));
+  topo.advertise(lb, kVip);
+  for (int i = 0; i < 2; ++i) {
+    net::Host* h = topo.add_host("replica" + std::to_string(i), kVip,
+                                 /*advertise=*/false);
+    auto [fwd, rev] = topo.connect(lb, h, {});
+    (void)rev;
+    lb->add_backend(fwd);
+    h->set_handler([](SimTime, const tcp::Segment&) {});  // sink
+  }
+  net::Host* zombie = topo.add_host("zombie", tcp::ipv4(100, 64, 0, 1));
+  topo.connect(zombie, lb, {});
+  topo.compute_routes();
+
+  const SimTime duration = SimTime::seconds(60);
+  lb->start(duration);
+
+  // 200 spoofed SYNs/s for 50 s, every one from a fresh source: 10'000
+  // distinct "flows" that never complete a handshake.
+  constexpr int kRate = 200, kFloodSeconds = 50;
+  for (int i = 0; i < kRate * kFloodSeconds; ++i) {
+    sim.schedule_at(SimTime::milliseconds(1000ll * i / kRate), [zombie, i] {
+      tcp::Segment syn;
+      syn.saddr = tcp::ipv4(100, 64, 0, 2) + static_cast<std::uint32_t>(i);
+      syn.sport = static_cast<std::uint16_t>(1024 + (i % 60'000));
+      syn.daddr = kVip;
+      syn.dport = kPort;
+      syn.seq = static_cast<std::uint32_t>(i);
+      syn.flags = tcp::kSyn;
+      zombie->send(syn);
+    });
+  }
+  std::size_t max_table = 0;
+  std::function<void()> sampler = [&] {
+    max_table = std::max(max_table, lb->flow_table_size());
+    if (sim.now() < duration) sim.schedule_in(SimTime::milliseconds(100), sampler);
+  };
+  sim.schedule_at(SimTime::zero(), sampler);
+  sim.run_until(duration);
+
+  // Steady-state bound: rate x (idle_timeout + sweep_interval) = 600 flows,
+  // nowhere near the 10'000 the flood injected.
+  EXPECT_LE(max_table, 650u);
+  EXPECT_GE(max_table, 400u);  // the flood genuinely pressured the table
+  // Once the flood stops, the sweep drains everything and the per-backend
+  // connection counters return to zero (no leaked `active` accounting).
+  EXPECT_EQ(lb->flow_table_size(), 0u);
+  EXPECT_EQ(lb->tracked_connections(0), 0);
+  EXPECT_EQ(lb->tracked_connections(1), 0);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end fleet scenarios (small timelines to stay fast)
 // ---------------------------------------------------------------------------
