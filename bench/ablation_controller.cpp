@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   const auto args = benchutil::parse(argc, argv);
   sim::ScenarioConfig base = benchutil::paper_scenario(args);
   base.attack = sim::AttackType::kConnFlood;
-  base.defense = tcp::DefenseMode::kPuzzles;
+  base.policy = defense::PolicySpec::puzzles();
   base.difficulty = {2, 17};
 
   benchutil::header(
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   double cps_short = 0, cps_long = 0;
   for (const int hold : {2, 5, 15, 60, 120}) {
     sim::ScenarioConfig cfg = base;
-    cfg.protection_hold = SimTime::seconds(hold);
+    cfg.policy->protection_hold = SimTime::seconds(hold);
     const Outcome o = run(cfg);
     if (hold == 2) cps_short = o.attacker_cps;
     if (hold == 120) cps_long = o.attacker_cps;
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   std::printf("%-12s %16s %16s\n", "water", "attacker cps", "client Mbps");
   for (const double w : {0.25, 0.5, 1.0}) {
     sim::ScenarioConfig cfg = base;
-    cfg.protection_engage_water = w;
+    cfg.policy->protection_engage_water = w;
     const Outcome o = run(cfg);
     std::printf("%-12.2f %16.1f %16.1f\n", w, o.attacker_cps, o.client_mbps);
   }
@@ -80,8 +80,10 @@ int main(int argc, char** argv) {
   actl.low_demand = 100.0;
   actl.patience = 2;
   ad.difficulty = actl.base;
-  ad.adaptive = actl;
+  ad.policy = defense::PolicySpec::puzzles().with_adaptive(actl);
   const auto ad_res = sim::run_scenario(ad);
+  benchutil::label("adaptive_policy", ad_res.server.policy);
+  benchutil::metric("adaptive_final_m", ad_res.server.final_difficulty_m);
   const std::size_t a = benchutil::atk_lo(ad), b = benchutil::atk_hi(ad);
   const double ad_cps = ad_res.server.attacker_cps(a, b);
   const double ad_mbps = ad_res.client_rx_mbps(a, b);

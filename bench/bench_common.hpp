@@ -44,6 +44,7 @@ inline Args parse(int argc, char** argv) {
 inline std::string g_artifact;                               // NOLINT
 inline std::vector<std::pair<std::string, bool>> g_checks;   // NOLINT
 inline std::vector<std::pair<std::string, double>> g_metrics;  // NOLINT
+inline std::vector<std::pair<std::string, std::string>> g_labels;  // NOLINT
 inline int g_failures = 0;                                   // NOLINT
 
 inline void header(const char* artifact, const char* claim) {
@@ -64,6 +65,14 @@ inline double metric(const char* name, double value) {
   std::printf("metric %-40s %.6g\n", name, value);
   g_metrics.emplace_back(name, value);
   return value;
+}
+
+/// Records a named string for the JSON report (and echoes it) — e.g. which
+/// defense policy produced a series, so result files identify the policy
+/// instead of a bare enum value.
+inline void label(const char* name, const std::string& value) {
+  std::printf("label  %-40s %s\n", name, value.c_str());
+  g_labels.emplace_back(name, value);
 }
 
 inline std::string json_escape(const std::string& s) {
@@ -102,6 +111,12 @@ inline void write_json_report() {
   for (std::size_t i = 0; i < g_metrics.size(); ++i) {
     std::fprintf(f, "%s\n    \"%s\": %.9g", i ? "," : "",
                  json_escape(g_metrics[i].first).c_str(), g_metrics[i].second);
+  }
+  std::fprintf(f, "\n  },\n  \"labels\": {");
+  for (std::size_t i = 0; i < g_labels.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": \"%s\"", i ? "," : "",
+                 json_escape(g_labels[i].first).c_str(),
+                 json_escape(g_labels[i].second).c_str());
   }
   std::fprintf(f, "\n  }\n}\n");
   std::fclose(f);

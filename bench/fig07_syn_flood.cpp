@@ -13,7 +13,7 @@ namespace {
 
 struct Case {
   const char* name;
-  tcp::DefenseMode mode;
+  defense::PolicySpec spec;
   puzzle::Difficulty diff;
 };
 
@@ -29,10 +29,10 @@ int main(int argc, char** argv) {
       "sustain service; Nash-difficulty puzzles sustain at a reduced rate");
 
   const Case cases[] = {
-      {"nodefense", tcp::DefenseMode::kNone, {2, 17}},
-      {"cookies", tcp::DefenseMode::kSynCookies, {2, 17}},
-      {"challenges-m8", tcp::DefenseMode::kPuzzles, {1, 8}},
-      {"challenges-m17", tcp::DefenseMode::kPuzzles, {2, 17}},
+      {"nodefense", defense::PolicySpec::none(), {2, 17}},
+      {"cookies", defense::PolicySpec::syn_cookies(), {2, 17}},
+      {"challenges-m8", defense::PolicySpec::puzzles(), {1, 8}},
+      {"challenges-m17", defense::PolicySpec::puzzles(), {2, 17}},
   };
 
   double pre[4], during[4], post_early[4];
@@ -40,9 +40,11 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 4; ++i) {
     sim::ScenarioConfig cfg = base;
     cfg.attack = sim::AttackType::kSynFlood;
-    cfg.defense = cases[i].mode;
+    cfg.policy = cases[i].spec;
     cfg.difficulty = cases[i].diff;
     results[i] = sim::run_scenario(cfg);
+    benchutil::label((std::string("policy_") + cases[i].name).c_str(),
+                     results[i].server.policy);
     pre[i] = results[i].client_rx_mbps(benchutil::pre_lo(cfg),
                                        benchutil::pre_hi(cfg));
     during[i] = results[i].client_rx_mbps(benchutil::atk_lo(cfg),

@@ -20,11 +20,11 @@ int main(int argc, char** argv) {
 
   struct Case {
     const char* name;
-    tcp::DefenseMode mode;
+    defense::PolicySpec spec;
   } cases[] = {
-      {"nodefense", tcp::DefenseMode::kNone},
-      {"cookies", tcp::DefenseMode::kSynCookies},
-      {"challenges-m17", tcp::DefenseMode::kPuzzles},
+      {"nodefense", defense::PolicySpec::none()},
+      {"cookies", defense::PolicySpec::syn_cookies()},
+      {"challenges-m17", defense::PolicySpec::puzzles()},
   };
 
   sim::ScenarioResult results[3];
@@ -33,9 +33,11 @@ int main(int argc, char** argv) {
     sim::ScenarioConfig cfg = base;
     cfg.attack = sim::AttackType::kConnFlood;
     cfg.bots_solve = false;  // raw nping flood bypasses the bot kernel solver
-    cfg.defense = cases[i].mode;
+    cfg.policy = cases[i].spec;
     cfg.difficulty = {2, 17};
     results[i] = sim::run_scenario(cfg);
+    benchutil::label((std::string("policy_") + cases[i].name).c_str(),
+                     results[i].server.policy);
     pre[i] = results[i].client_rx_mbps(benchutil::pre_lo(cfg),
                                        benchutil::pre_hi(cfg));
     during[i] = results[i].client_rx_mbps(benchutil::atk_lo(cfg),

@@ -25,7 +25,7 @@ fleet::FleetScenarioConfig fleet_base(const benchutil::Args& args) {
   f.base = benchutil::paper_scenario(args);
   f.base.attack = sim::AttackType::kConnFlood;
   f.base.bots_solve = false;  // raw nping flood, as in the Fig. 8 scenario
-  f.base.defense = tcp::DefenseMode::kPuzzles;
+  f.base.policy = defense::PolicySpec::puzzles();
   f.base.difficulty = {2, 17};
   f.n_replicas = 4;
   // Scale-out: each replica is a full §6 server; the fleet quadruples
@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
   cfg_a.policy = fleet::BalancePolicy::kFiveTupleHash;
   const fleet::FleetResult a = fleet::run_fleet_scenario(cfg_a);
   print_replicas("A: all replicas protected", a, lo, hi);
+  benchutil::label("protected_fleet_policy", a.replicas[0].policy);
 
   const double a_success = benchutil::metric(
       "protected_fleet_client_success_pct", a.client_wire_success_pct(lo, hi));
@@ -84,10 +85,15 @@ int main(int argc, char** argv) {
   // -- B: partial adoption --------------------------------------------------
   fleet::FleetScenarioConfig cfg_b = base;
   cfg_b.policy = fleet::BalancePolicy::kFiveTupleHash;
-  cfg_b.replica_modes = {tcp::DefenseMode::kNone, tcp::DefenseMode::kPuzzles,
-                         tcp::DefenseMode::kPuzzles, tcp::DefenseMode::kPuzzles};
+  cfg_b.replica_policies = {
+      defense::PolicySpec::none(), defense::PolicySpec::puzzles(),
+      defense::PolicySpec::puzzles(), defense::PolicySpec::puzzles()};
   const fleet::FleetResult b = fleet::run_fleet_scenario(cfg_b);
   print_replicas("B: replica 0 unprotected", b, lo, hi);
+  for (std::size_t i = 0; i < b.replicas.size(); ++i) {
+    benchutil::label(("partial_replica" + std::to_string(i) + "_policy").c_str(),
+                     b.replicas[i].policy);
+  }
 
   // The legacy replica admits the flood until its listen queue has silted up
   // with dead parked entries (the Fig. 10/11 dynamics), so the leakage

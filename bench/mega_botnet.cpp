@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   sim::ScenarioConfig cfg = benchutil::paper_scenario(args);
   cfg.n_bots = smoke ? 40 : 120;
-  cfg.defense = tcp::DefenseMode::kPuzzles;
+  cfg.policy = defense::PolicySpec::puzzles();
   cfg.attack = sim::AttackType::kConnFlood;
   cfg.bots_solve = true;
   // Production-scale server (the ROADMAP's target class, 8x the paper's

@@ -20,8 +20,16 @@ int main() {
   f.base = sim::ScenarioConfig{}.scaled();  // 120 s run, attack 30-80 s
   f.base.attack = sim::AttackType::kConnFlood;
   f.base.bots_solve = false;  // classic flood tool: ignores challenges
-  f.base.defense = tcp::DefenseMode::kPuzzles;
   f.n_replicas = 4;
+  // A heterogeneous fleet through the per-replica policy API: two plain
+  // puzzle replicas, one with the §7 adaptive difficulty loop, one hybrid
+  // (cookies for the listen queue, puzzles for the accept queue).
+  f.replica_policies = {
+      defense::PolicySpec::puzzles(),
+      defense::PolicySpec::puzzles().with_adaptive(AdaptiveConfig{}),
+      defense::PolicySpec::hybrid(),
+      defense::PolicySpec::puzzles(),
+  };
   f.divide_capacity = false;  // scale-out: each replica a full §6 server
   f.policy = fleet::BalancePolicy::kRoundRobin;
   f.rotation_interval = SimTime::seconds(40);
@@ -42,11 +50,12 @@ int main() {
   const std::size_t atk_hi = f.base.attack_end_bin() - 1;
 
   std::printf("\nper-replica outcome:\n");
-  std::printf("%-9s %12s %14s %14s %12s\n", "replica", "established",
-              "via puzzles", "challenges", "rotations");
+  std::printf("%-9s %-18s %12s %14s %14s %12s\n", "replica", "policy",
+              "established", "via puzzles", "challenges", "rotations");
   for (std::size_t i = 0; i < r.replicas.size(); ++i) {
     const auto& c = r.replicas[i].counters;
-    std::printf("%-9zu %12llu %14llu %14llu %12llu\n", i,
+    std::printf("%-9zu %-18s %12llu %14llu %14llu %12llu\n", i,
+                r.replicas[i].policy.c_str(),
                 static_cast<unsigned long long>(c.established_total),
                 static_cast<unsigned long long>(c.established_puzzle),
                 static_cast<unsigned long long>(c.challenges_sent),

@@ -4,7 +4,12 @@
 // per-second timeline of server throughput, queue depths and attacker
 // completions for a chosen defence.
 //
-//   ./build/examples/flood_defense_demo [none|cookies|puzzles]
+//   ./build/examples/flood_defense_demo [none|cookies|puzzles|hybrid|adaptive]
+//
+// The defense is selected through the pluggable policy layer
+// (src/defense/): besides the paper's three modes, `hybrid` composes
+// cookies (listen queue) with puzzles (accept queue) and `adaptive` wraps
+// the puzzles in the §7 closed difficulty loop.
 #include <cstdio>
 #include <cstring>
 
@@ -14,21 +19,30 @@ using namespace tcpz;
 using namespace tcpz::sim;
 
 int main(int argc, char** argv) {
-  tcp::DefenseMode mode = tcp::DefenseMode::kPuzzles;
+  defense::PolicySpec spec = defense::PolicySpec::puzzles();
   if (argc > 1) {
-    if (std::strcmp(argv[1], "none") == 0) mode = tcp::DefenseMode::kNone;
-    if (std::strcmp(argv[1], "cookies") == 0) {
-      mode = tcp::DefenseMode::kSynCookies;
+    if (std::strcmp(argv[1], "none") == 0) {
+      spec = defense::PolicySpec::none();
+    } else if (std::strcmp(argv[1], "cookies") == 0) {
+      spec = defense::PolicySpec::syn_cookies();
+    } else if (std::strcmp(argv[1], "hybrid") == 0) {
+      spec = defense::PolicySpec::hybrid();
+    } else if (std::strcmp(argv[1], "adaptive") == 0) {
+      AdaptiveConfig actl;
+      actl.base = {2, 15};  // start easier than Nash; the loop hardens it
+      actl.m_max = 20;
+      spec = defense::PolicySpec::puzzles().with_adaptive(actl);
     }
   }
 
   ScenarioConfig cfg = ScenarioConfig{}.scaled();
   cfg.attack = AttackType::kConnFlood;
-  cfg.defense = mode;
+  cfg.policy = spec;
   cfg.difficulty = {2, 17};  // the Nash setting of §4.4
+  if (spec.adaptive) cfg.difficulty = spec.adaptive->base;
 
-  std::printf("== connection flood vs defense '%s' ==\n",
-              tcp::to_string(mode));
+  std::printf("== connection flood vs defense policy '%s' ==\n",
+              spec.adaptive ? "adaptive+puzzles" : to_string(spec.kind));
   std::printf("15 clients @ 20 req/s; 10 bots @ 500 pps; attack %.0f-%.0f s\n\n",
               cfg.attack_start.to_seconds(), cfg.attack_end.to_seconds());
 
@@ -51,7 +65,9 @@ int main(int argc, char** argv) {
   }
 
   const auto& c = res.server.counters;
-  std::printf("\nlistener counters:\n");
+  std::printf("\npolicy: %s (final difficulty m=%.0f)\n",
+              res.server.policy.c_str(), res.server.final_difficulty_m);
+  std::printf("listener counters:\n");
   std::printf("  syns=%llu  plain-synacks=%llu  challenges=%llu  cookies=%llu\n",
               static_cast<unsigned long long>(c.syns_received),
               static_cast<unsigned long long>(c.plain_synacks),

@@ -18,7 +18,7 @@
 #include <cstdint>
 
 #include "puzzle/types.hpp"
-#include "tcp/listener.hpp"
+#include "tcp/counters.hpp"
 #include "util/time.hpp"
 
 namespace tcpz {

@@ -1,0 +1,81 @@
+// Declarative, value-type description of a defense policy — what scenario
+// configs, fleet per-replica lists and result files carry around. A spec is
+// copyable and comparable where a live policy (stateful, non-copyable) is
+// not; build() turns it into a fresh DefensePolicy instance.
+//
+// The legacy tcp::DefenseMode enum maps onto specs via from_mode(): the
+// three-value enum is now nothing more than a name for three canonical
+// specs.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/adaptive.hpp"
+#include "defense/policies.hpp"
+#include "tcp/defense_mode.hpp"
+
+namespace tcpz::defense {
+
+struct PolicySpec {
+  enum class Kind : std::uint8_t {
+    kNone,        ///< stock TCP
+    kSynCookies,  ///< the baseline
+    kPuzzles,     ///< the paper's opportunistic puzzles
+    kHybrid,      ///< cookies for the listen queue, puzzles for the accept queue
+  };
+
+  Kind kind = Kind::kNone;
+
+  // Knobs for the puzzle/hybrid controllers (ignored by kNone/kSynCookies);
+  // semantics documented on PuzzlePolicyConfig/HybridPolicyConfig.
+  bool always_challenge = false;
+  bool cookie_fallback = false;
+  SimTime protection_hold = SimTime::seconds(60);
+  double protection_engage_water = 1.0;
+
+  /// When set (and the kind mints puzzles), the built policy is wrapped in
+  /// the AdaptivePuzzlePolicy decorator — the §7 closed difficulty loop.
+  std::optional<AdaptiveConfig> adaptive;
+
+  // -- canonical specs -------------------------------------------------------
+  [[nodiscard]] static PolicySpec of(Kind k) {
+    PolicySpec s;
+    s.kind = k;
+    return s;
+  }
+  [[nodiscard]] static PolicySpec none() { return of(Kind::kNone); }
+  [[nodiscard]] static PolicySpec syn_cookies() { return of(Kind::kSynCookies); }
+  [[nodiscard]] static PolicySpec puzzles() { return of(Kind::kPuzzles); }
+  [[nodiscard]] static PolicySpec hybrid() { return of(Kind::kHybrid); }
+
+  /// The DefenseMode compatibility shim: the enum names one of the three
+  /// canonical specs.
+  [[nodiscard]] static PolicySpec from_mode(tcp::DefenseMode mode);
+
+  /// Fluent helper: the same spec with the adaptive decorator enabled.
+  [[nodiscard]] PolicySpec with_adaptive(AdaptiveConfig cfg) const {
+    PolicySpec s = *this;
+    s.adaptive = cfg;
+    return s;
+  }
+
+  /// True when a listener running this policy needs a PuzzleEngine wired up
+  /// (scenario layers use this to decide whether to install the engine and
+  /// subscribe the replica to the fleet secret directory).
+  [[nodiscard]] bool wants_engine() const {
+    return kind == Kind::kPuzzles || kind == Kind::kHybrid;
+  }
+
+  /// Builds a fresh policy instance (adaptive-wrapped when requested).
+  [[nodiscard]] std::unique_ptr<DefensePolicy> build() const;
+
+  /// Factory form, for ListenerConfig::policy.
+  [[nodiscard]] PolicyFactory factory() const {
+    return [spec = *this] { return spec.build(); };
+  }
+};
+
+[[nodiscard]] const char* to_string(PolicySpec::Kind kind);
+
+}  // namespace tcpz::defense

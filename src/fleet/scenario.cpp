@@ -29,6 +29,22 @@ bool is_bot_addr(std::uint32_t addr) {
   return (addr & 0xffff0000u) == tcp::ipv4(10, 3, 0, 0);
 }
 
+/// Resolve replica i's defense: explicit per-replica spec, legacy
+/// per-replica mode (with the base scenario's shim knobs), or the base
+/// scenario's policy.
+defense::PolicySpec replica_spec(const FleetScenarioConfig& fcfg, int i) {
+  if (!fcfg.replica_policies.empty()) {
+    return fcfg.replica_policies[static_cast<std::size_t>(i)];
+  }
+  if (!fcfg.replica_modes.empty()) {
+    sim::ScenarioConfig base = fcfg.base;
+    base.policy.reset();
+    base.defense = fcfg.replica_modes[static_cast<std::size_t>(i)];
+    return base.policy_spec();
+  }
+  return fcfg.base.policy_spec();
+}
+
 }  // namespace
 
 double FleetResult::client_success_ratio() const {
@@ -88,6 +104,12 @@ FleetResult run_fleet_scenario(const FleetScenarioConfig& fcfg) {
       fcfg.replica_modes.size() != static_cast<std::size_t>(fcfg.n_replicas)) {
     throw std::invalid_argument(
         "fleet: replica_modes must be empty or one entry per replica");
+  }
+  if (!fcfg.replica_policies.empty() &&
+      fcfg.replica_policies.size() !=
+          static_cast<std::size_t>(fcfg.n_replicas)) {
+    throw std::invalid_argument(
+        "fleet: replica_policies must be empty or one entry per replica");
   }
 
   net::Simulator sim;
@@ -165,20 +187,14 @@ FleetResult run_fleet_scenario(const FleetScenarioConfig& fcfg) {
 
   std::vector<std::unique_ptr<sim::ServerAgent>> replicas;
   for (int i = 0; i < fcfg.n_replicas; ++i) {
-    const tcp::DefenseMode mode = fcfg.replica_modes.empty()
-                                      ? cfg.defense
-                                      : fcfg.replica_modes[static_cast<std::size_t>(i)];
+    const defense::PolicySpec spec = replica_spec(fcfg, i);
     sim::ServerAgentConfig scfg;
     scfg.listener.local_addr = kVip;
     scfg.listener.local_port = kServerPort;
     scfg.listener.listen_backlog = replica_listen_backlog;
     scfg.listener.accept_backlog = replica_accept_backlog;
-    scfg.listener.mode = mode;
     scfg.listener.difficulty = cfg.difficulty;
-    scfg.listener.always_challenge = cfg.always_challenge;
-    scfg.listener.protection_hold = cfg.protection_hold;
-    scfg.listener.protection_engage_water = cfg.protection_engage_water;
-    scfg.adaptive = cfg.adaptive;
+    scfg.listener.policy = spec.factory();
     scfg.service_rate = replica_service_rate;
     scfg.n_workers = replica_workers;
     scfg.response_bytes = cfg.response_bytes;
@@ -187,7 +203,7 @@ FleetResult run_fleet_scenario(const FleetScenarioConfig& fcfg) {
     scfg.tick_interval = cfg.tick_interval;
     scfg.sample_interval = cfg.sample_interval;
     scfg.is_attacker = is_bot_addr;
-    const bool puzzles = mode == tcp::DefenseMode::kPuzzles;
+    const bool puzzles = spec.wants_engine();
     replicas.push_back(std::make_unique<sim::ServerAgent>(
         sim, *replica_hosts[static_cast<std::size_t>(i)], scfg,
         directory.current_secret(), seeder.next(),
@@ -276,6 +292,8 @@ FleetResult run_fleet_scenario(const FleetScenarioConfig& fcfg) {
     auto& agent = *replicas[static_cast<std::size_t>(i)];
     sim::ServerReport report = std::move(agent.report());
     report.counters = agent.listener().counters();
+    report.policy = agent.listener().policy_name();
+    report.final_difficulty_m = agent.listener().config().difficulty.m;
     result.cluster += report.counters;
     result.replicas.push_back(std::move(report));
     result.lb.backends.push_back(lb->stats(i));

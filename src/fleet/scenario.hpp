@@ -6,9 +6,10 @@
 // New scenario axes this opens over sim::run_scenario:
 //  * replica count and balancing policy (round-robin / 5-tuple hash /
 //    least-connections) under SYN-, connection- and solution-floods;
-//  * per-replica defense modes — the Fig. 15 partial-adoption study at the
-//    fleet level (one legacy replica in an otherwise patched fleet is the
-//    hole the flood pours through);
+//  * per-replica defense policies — the Fig. 15 partial-adoption study at
+//    the fleet level (one legacy replica in an otherwise patched fleet is
+//    the hole the flood pours through), including heterogeneous fleets that
+//    mix adaptive, hybrid and legacy replicas in one run;
 //  * mid-attack replica failure and recovery, exercising cross-replica
 //    stateless verification: a solution minted against a dead replica's
 //    challenge is accepted by whichever replica inherits the flow;
@@ -41,8 +42,14 @@ struct FleetScenarioConfig {
   int n_replicas = 4;
   BalancePolicy policy = BalancePolicy::kFiveTupleHash;
 
-  /// Per-replica defense override (partial adoption); empty = base.defense
-  /// everywhere. Size must equal n_replicas when non-empty.
+  /// Per-replica defense policies (partial adoption, heterogeneous fleets);
+  /// empty = the base scenario's policy everywhere. Size must equal
+  /// n_replicas when non-empty. Takes precedence over replica_modes.
+  std::vector<defense::PolicySpec> replica_policies;
+
+  /// Legacy shim: per-replica DefenseMode override, mapped through
+  /// defense::PolicySpec::from_mode with the base scenario's shim knobs.
+  /// Size must equal n_replicas when non-empty.
   std::vector<tcp::DefenseMode> replica_modes;
 
   /// Replica failure/recovery schedule (applied through the balancer's

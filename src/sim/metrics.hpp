@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "tcp/listener.hpp"
 #include "util/stats.hpp"
@@ -58,6 +59,13 @@ struct ServerReport {
   GaugeSeries difficulty_m;
 
   tcp::ListenerCounters counters;  ///< final listener counters
+  /// DefensePolicy::name() of the listener that produced this report, so
+  /// result files identify the policy (e.g. "adaptive+puzzles") instead of
+  /// a bare enum value.
+  std::string policy;
+  /// Difficulty bits m at the end of the run — the adaptive policy's final
+  /// setting (equals the configured m when the difficulty never moved).
+  double final_difficulty_m = 0;
 
   [[nodiscard]] double tx_mbps(std::size_t from, std::size_t to) const {
     return tx_bytes.mean_rate(from, to) * 8.0 / 1e6;

@@ -82,6 +82,9 @@ std::size_t write_csv(const ScenarioResult& result, const ScenarioConfig& cfg,
     File f = open_or_throw(prefix + "_summary.csv");
     const auto& c = result.server.counters;
     std::fprintf(f.get(), "key,value\n");
+    std::fprintf(f.get(), "policy,%s\n", result.server.policy.c_str());
+    std::fprintf(f.get(), "final_difficulty_m,%.0f\n",
+                 result.server.final_difficulty_m);
     const std::pair<const char*, std::uint64_t> rows[] = {
         {"syns_received", c.syns_received},
         {"synacks_sent", c.synacks_sent},

@@ -25,6 +25,16 @@ bool is_bot_addr(std::uint32_t addr) {
 
 }  // namespace
 
+defense::PolicySpec ScenarioConfig::policy_spec() const {
+  if (policy) return *policy;
+  defense::PolicySpec s = defense::PolicySpec::from_mode(defense);
+  s.always_challenge = always_challenge;
+  s.protection_hold = protection_hold;
+  s.protection_engage_water = protection_engage_water;
+  s.adaptive = adaptive;
+  return s;
+}
+
 ScenarioConfig ScenarioConfig::scaled() const {
   // Same rates, shorter timeline. The attack window is kept shorter than the
   // listener's protection hold so the window measures the protected steady
@@ -116,17 +126,14 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   auto engine = std::make_shared<puzzle::OraclePuzzleEngine>(secret, ecfg);
 
   // Server.
+  const defense::PolicySpec spec = cfg.policy_spec();
   ServerAgentConfig scfg;
   scfg.listener.local_addr = kServerAddr;
   scfg.listener.local_port = kServerPort;
   scfg.listener.listen_backlog = cfg.listen_backlog;
   scfg.listener.accept_backlog = cfg.accept_backlog;
-  scfg.listener.mode = cfg.defense;
   scfg.listener.difficulty = cfg.difficulty;
-  scfg.listener.always_challenge = cfg.always_challenge;
-  scfg.listener.protection_hold = cfg.protection_hold;
-  scfg.listener.protection_engage_water = cfg.protection_engage_water;
-  scfg.adaptive = cfg.adaptive;
+  scfg.listener.policy = spec.factory();
   scfg.service_rate = cfg.service_rate;
   scfg.n_workers = cfg.n_workers;
   scfg.response_bytes = cfg.response_bytes;
@@ -136,8 +143,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   scfg.sample_interval = cfg.sample_interval;
   scfg.is_attacker = is_bot_addr;
   ServerAgent server(sim, *server_host, scfg, secret, seeder.next(),
-                     cfg.defense == tcp::DefenseMode::kPuzzles ? engine
-                                                               : nullptr);
+                     spec.wants_engine() ? engine : nullptr);
   server.start(cfg.duration);
 
   // Clients.
@@ -194,6 +200,8 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   ScenarioResult result;
   result.server = std::move(server.report());
   result.server.counters = server.listener().counters();
+  result.server.policy = server.listener().policy_name();
+  result.server.final_difficulty_m = server.listener().config().difficulty.m;
   for (auto& c : clients) result.clients.push_back(std::move(c->report()));
   for (auto& b : bots) result.bots.push_back(std::move(b->report()));
   result.events_processed = sim.events_processed();

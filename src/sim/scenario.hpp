@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "core/adaptive.hpp"
+#include "defense/spec.hpp"
 #include "puzzle/types.hpp"
 #include "sim/attacker_agent.hpp"
 #include "sim/client_agent.hpp"
@@ -57,6 +58,11 @@ struct ScenarioConfig {
   int bot_max_inflight = 250;
 
   // Server.
+  /// First-class defense selection: when set, this spec drives the server's
+  /// policy and the legacy shim knobs below (defense, always_challenge,
+  /// protection_hold, protection_engage_water, adaptive) are ignored.
+  std::optional<defense::PolicySpec> policy;
+  /// Legacy shim (see policy_spec()).
   tcp::DefenseMode defense = tcp::DefenseMode::kPuzzles;
   puzzle::Difficulty difficulty{2, 17};  ///< the Nash difficulty of §4.4
   bool always_challenge = false;         ///< Experiment 1 (Fig. 6)
@@ -93,6 +99,10 @@ struct ScenarioConfig {
 
   /// Same rates and shapes on a short timeline: 150 s run, attack 30–110 s.
   [[nodiscard]] ScenarioConfig scaled() const;
+
+  /// The defense spec this scenario runs: `policy` when set, otherwise the
+  /// legacy shim fields mapped through defense::PolicySpec::from_mode.
+  [[nodiscard]] defense::PolicySpec policy_spec() const;
 
   [[nodiscard]] std::size_t attack_start_bin() const {
     return static_cast<std::size_t>(attack_start.nanos() / 1'000'000'000);

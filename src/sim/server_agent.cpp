@@ -12,7 +12,6 @@ ServerAgent::ServerAgent(net::Simulator& sim, net::Host& host,
       listener_(cfg_.listener, secret, seed, std::move(engine)),
       cpu_(cfg_.cpu),
       rng_(seed ^ 0x5e77e57ull) {
-  if (cfg_.adaptive) adaptive_.emplace(*cfg_.adaptive);
   listener_.set_data_handler(
       [this](SimTime now, const tcp::FlowKey& flow, const tcp::Segment& seg) {
         on_request(now, flow, seg);
@@ -122,14 +121,10 @@ void ServerAgent::tick_loop() {
   if (sim_.now() >= until_) return;
   sim_.schedule_in(cfg_.tick_interval, [this] {
     const SimTime now = sim_.now();
+    // §7 closed-loop difficulty control now lives inside the defense layer:
+    // the listener consults its policy's on_tick here.
     send_all(listener_.on_tick(now));
     cpu_.charge_hash_ops(listener_.take_hash_ops());
-
-    // §7 closed loop: retune the difficulty from the observed traffic.
-    if (adaptive_) {
-      const puzzle::Difficulty d = adaptive_->update(now, listener_.counters());
-      if (d != listener_.config().difficulty) listener_.set_difficulty(d);
-    }
 
     // Reap workers pinned by request-less connections (flood bots).
     for (auto it = workers_.begin(); it != workers_.end();) {

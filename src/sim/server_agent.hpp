@@ -13,10 +13,8 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <optional>
 #include <unordered_map>
 
-#include "core/adaptive.hpp"
 #include "net/node.hpp"
 #include "net/simulator.hpp"
 #include "sim/cpu.hpp"
@@ -39,8 +37,6 @@ struct ServerAgentConfig {
   SimTime sample_interval = SimTime::milliseconds(250);
   /// Classifier for the established-by-source-class metric.
   std::function<bool(std::uint32_t addr)> is_attacker;
-  /// Enable the §7 closed-loop difficulty controller.
-  std::optional<AdaptiveConfig> adaptive;
 };
 
 class ServerAgent {
@@ -92,8 +88,6 @@ class ServerAgent {
   std::deque<tcp::FlowKey> ready_;
   /// Requests that arrived before accept() got to the connection.
   std::unordered_map<tcp::FlowKey, std::uint32_t, tcp::FlowKeyHash> early_requests_;
-
-  std::optional<AdaptiveDifficultyController> adaptive_;
 };
 
 }  // namespace tcpz::sim

@@ -1,0 +1,62 @@
+// Listener-side evaluation counters, split out of listener.hpp so the
+// defense-policy layer (src/defense/) and the adaptive controller
+// (core/adaptive.hpp) can consume counter snapshots without pulling in the
+// full TCP state machine.
+#pragma once
+
+#include <cstdint>
+
+namespace tcpz::tcp {
+
+/// Everything the evaluation measures, in one place. All counters are
+/// cumulative over the listener's lifetime.
+struct ListenerCounters {
+  std::uint64_t syns_received = 0;
+  std::uint64_t synacks_sent = 0;        ///< total, all kinds
+  std::uint64_t plain_synacks = 0;       ///< no challenge, no cookie
+  std::uint64_t challenges_sent = 0;
+  std::uint64_t cookies_sent = 0;
+  std::uint64_t synack_retx = 0;
+  /// SYN dropped without a stateless answer: listen-queue overflow with no
+  /// defense engaged, or a policy-directed drop (defense::SynAction::kDrop).
+  std::uint64_t drops_listen_full = 0;
+
+  std::uint64_t acks_received = 0;
+  std::uint64_t solution_acks = 0;
+  std::uint64_t solutions_valid = 0;
+  std::uint64_t solutions_invalid = 0;
+  std::uint64_t solutions_expired = 0;
+  std::uint64_t solutions_bad_ackno = 0;
+  std::uint64_t solutions_duplicate = 0;  ///< replay of an already-admitted flow
+  std::uint64_t acks_ignored_accept_full = 0;
+  std::uint64_t cookies_valid = 0;
+  std::uint64_t cookies_invalid = 0;
+  std::uint64_t cookie_drops_accept_full = 0;
+  std::uint64_t acks_pending_accept = 0;  ///< handshake done, accept queue full
+
+  std::uint64_t established_total = 0;
+  std::uint64_t established_queue = 0;
+  std::uint64_t established_cookie = 0;
+  std::uint64_t established_puzzle = 0;
+
+  std::uint64_t half_open_expired = 0;
+  std::uint64_t rsts_sent = 0;
+  std::uint64_t data_segments = 0;
+  std::uint64_t data_unknown_flow = 0;
+
+  /// Secret-rotation bookkeeping (fleet deployments rotate the puzzle secret
+  /// across every replica; see src/fleet/secret_directory.hpp).
+  std::uint64_t secret_rotations = 0;
+  std::uint64_t solutions_valid_prev_epoch = 0;  ///< verified in the overlap window
+  std::uint64_t solutions_replay_filtered = 0;   ///< cluster-level replay rejections
+
+  /// Cumulative crypto work (hash operations) the listener performed for
+  /// challenge generation, solution verification and cookie MACs. The
+  /// simulator charges this to the server's CPU model.
+  std::uint64_t crypto_hash_ops = 0;
+};
+
+/// Field-wise accumulation, for fleet-level aggregation over replicas.
+ListenerCounters& operator+=(ListenerCounters& into, const ListenerCounters& c);
+
+}  // namespace tcpz::tcp

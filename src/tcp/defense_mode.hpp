@@ -1,0 +1,30 @@
+// Legacy three-value defense selector.
+//
+// Since the defense-policy redesign this enum is a *compatibility shim*: the
+// listener is driven by a pluggable defense::DefensePolicy (src/defense/),
+// and a DefenseMode merely names one of the three canonical policies the
+// paper evaluates. defense::PolicySpec::from_mode() maps a mode to the
+// equivalent policy; new code should build a PolicySpec (or a custom
+// DefensePolicy) directly.
+#pragma once
+
+#include <cstdint>
+
+namespace tcpz::tcp {
+
+enum class DefenseMode : std::uint8_t {
+  kNone,        ///< stock TCP: drop SYNs when the listen queue is full
+  kSynCookies,  ///< stateless cookies when the listen queue is full
+  kPuzzles,     ///< client puzzles when either queue is full
+};
+
+[[nodiscard]] constexpr const char* to_string(DefenseMode m) {
+  switch (m) {
+    case DefenseMode::kNone: return "none";
+    case DefenseMode::kSynCookies: return "syncookies";
+    case DefenseMode::kPuzzles: return "puzzles";
+  }
+  return "unknown";
+}
+
+}  // namespace tcpz::tcp

@@ -3,53 +3,24 @@
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
+#include "defense/spec.hpp"
 #include "util/log.hpp"
 
 namespace tcpz::tcp {
+namespace {
 
-const char* to_string(DefenseMode m) {
-  switch (m) {
-    case DefenseMode::kNone: return "none";
-    case DefenseMode::kSynCookies: return "syncookies";
-    case DefenseMode::kPuzzles: return "puzzles";
-  }
-  return "unknown";
+/// The DefenseMode compatibility shim: map the legacy enum + flat knobs to
+/// the equivalent declarative policy spec.
+defense::PolicySpec legacy_spec(const ListenerConfig& cfg, DefenseMode mode) {
+  defense::PolicySpec spec = defense::PolicySpec::from_mode(mode);
+  spec.always_challenge = cfg.always_challenge;
+  spec.cookie_fallback = cfg.cookie_fallback;
+  spec.protection_hold = cfg.protection_hold;
+  spec.protection_engage_water = cfg.protection_engage_water;
+  return spec;
 }
 
-ListenerCounters& operator+=(ListenerCounters& into, const ListenerCounters& c) {
-  into.syns_received += c.syns_received;
-  into.synacks_sent += c.synacks_sent;
-  into.plain_synacks += c.plain_synacks;
-  into.challenges_sent += c.challenges_sent;
-  into.cookies_sent += c.cookies_sent;
-  into.synack_retx += c.synack_retx;
-  into.drops_listen_full += c.drops_listen_full;
-  into.acks_received += c.acks_received;
-  into.solution_acks += c.solution_acks;
-  into.solutions_valid += c.solutions_valid;
-  into.solutions_invalid += c.solutions_invalid;
-  into.solutions_expired += c.solutions_expired;
-  into.solutions_bad_ackno += c.solutions_bad_ackno;
-  into.solutions_duplicate += c.solutions_duplicate;
-  into.acks_ignored_accept_full += c.acks_ignored_accept_full;
-  into.cookies_valid += c.cookies_valid;
-  into.cookies_invalid += c.cookies_invalid;
-  into.cookie_drops_accept_full += c.cookie_drops_accept_full;
-  into.acks_pending_accept += c.acks_pending_accept;
-  into.established_total += c.established_total;
-  into.established_queue += c.established_queue;
-  into.established_cookie += c.established_cookie;
-  into.established_puzzle += c.established_puzzle;
-  into.half_open_expired += c.half_open_expired;
-  into.rsts_sent += c.rsts_sent;
-  into.data_segments += c.data_segments;
-  into.data_unknown_flow += c.data_unknown_flow;
-  into.secret_rotations += c.secret_rotations;
-  into.solutions_valid_prev_epoch += c.solutions_valid_prev_epoch;
-  into.solutions_replay_filtered += c.solutions_replay_filtered;
-  into.crypto_hash_ops += c.crypto_hash_ops;
-  return into;
-}
+}  // namespace
 
 Listener::Listener(ListenerConfig cfg, crypto::SecretKey secret,
                    std::uint64_t seed,
@@ -59,18 +30,31 @@ Listener::Listener(ListenerConfig cfg, crypto::SecretKey secret,
       engine_(std::move(engine)),
       cookies_(secret),
       rng_(seed),
+      policy_(cfg_.policy ? cfg_.policy()
+                          : legacy_spec(cfg_, cfg_.mode).build()),
       listen_(cfg.listen_backlog),
       accept_(cfg.accept_backlog) {
-  if (cfg_.mode == DefenseMode::kPuzzles && !engine_ && !cfg_.cookie_fallback) {
+  if (!policy_) {
+    throw std::invalid_argument("Listener: policy factory returned null");
+  }
+  if (policy_->requires_engine() && !engine_) {
     throw std::invalid_argument(
-        "Listener: puzzles mode requires a PuzzleEngine (or cookie_fallback)");
+        "Listener: policy requires a PuzzleEngine (or cookie_fallback)");
   }
 }
 
-void Listener::set_mode(DefenseMode mode) {
-  if (mode == DefenseMode::kPuzzles && !engine_ && !cfg_.cookie_fallback) {
+void Listener::set_policy(std::unique_ptr<defense::DefensePolicy> policy) {
+  if (!policy) {
+    throw std::invalid_argument("Listener: null policy");
+  }
+  if (policy->requires_engine() && !engine_) {
     throw std::invalid_argument("Listener: no PuzzleEngine installed");
   }
+  policy_ = std::move(policy);
+}
+
+void Listener::set_mode(DefenseMode mode) {
+  set_policy(legacy_spec(cfg_, mode).build());
   cfg_.mode = mode;
 }
 
@@ -99,36 +83,20 @@ void Listener::rotate_secret(crypto::SecretKey secret,
 
 void Listener::drop_previous_secret() { prev_.reset(); }
 
-void Listener::update_protection(SimTime now) {
-  if (cfg_.mode != DefenseMode::kPuzzles) return;
-  // §5: puzzles are "enabled when the socket's [SYN] queue is full". A
-  // connection flood reaches this state indirectly: the accept queue (and
-  // the application's workers) fill first, final ACKs park in SYN_RECV, and
-  // the parked entries saturate the listen queue — which is the saturation
-  // Fig. 10 shows. Once in effect, protection persists (the hold) and
-  // challenges keep flowing "even if the accept queue overflows".
-  const double w = cfg_.protection_engage_water;
-  const bool engaged =
-      listen_.full() || static_cast<double>(listen_.size()) >=
-                            w * static_cast<double>(listen_.capacity());
-  if (engaged) {
-    protection_latched_ = true;
-    protection_hold_until_ = now + cfg_.protection_hold;
-  } else if (protection_latched_ && now >= protection_hold_until_) {
-    protection_latched_ = false;
-  }
+defense::QueueView Listener::queue_view() const {
+  defense::QueueView q;
+  q.listen_depth = listen_.size();
+  q.listen_capacity = listen_.capacity();
+  q.listen_full = listen_.full();
+  q.accept_depth = accept_.size();
+  q.accept_capacity = accept_.capacity();
+  q.accept_full = accept_.full();
+  q.has_engine = engine_ != nullptr;
+  return q;
 }
 
 bool Listener::protection_active() const {
-  switch (cfg_.mode) {
-    case DefenseMode::kNone:
-      return false;
-    case DefenseMode::kSynCookies:
-      return listen_.full();
-    case DefenseMode::kPuzzles:
-      return cfg_.always_challenge || protection_latched_ || listen_.full();
-  }
-  return false;
+  return policy_->protection_active(queue_view());
 }
 
 std::uint32_t Listener::stateless_iss_with(const crypto::SecretKey& secret,
@@ -162,7 +130,7 @@ std::uint64_t Listener::take_hash_ops() {
 
 std::vector<Segment> Listener::on_segment(SimTime now, const Segment& seg) {
   if (seg.daddr != cfg_.local_addr || seg.dport != cfg_.local_port) return {};
-  update_protection(now);
+  policy_->observe(now, queue_view());
 
   if (seg.is_rst()) {
     const FlowKey flow = FlowKey::from_incoming(seg);
@@ -193,6 +161,70 @@ Segment Listener::make_synack(const HalfOpenEntry& entry,
   return s;
 }
 
+Segment Listener::make_challenge_synack(const Segment& seg, const FlowKey& flow,
+                                        std::uint32_t now_ms) {
+  // Stateless challenge path: derive everything from the secret and the
+  // packet; nothing is enqueued.
+  puzzle::FlowBinding bind{seg.saddr, seg.daddr, seg.sport, seg.dport, seg.seq};
+  const puzzle::Challenge ch =
+      engine_->make_challenge(bind, now_ms, cfg_.difficulty);
+  hash_ops_pending_ +=
+      static_cast<std::uint64_t>(puzzle::Difficulty::generate_hashes());
+  counters_.crypto_hash_ops += 1;
+
+  Segment s;
+  s.saddr = seg.daddr;
+  s.daddr = seg.saddr;
+  s.sport = seg.dport;
+  s.dport = seg.sport;
+  s.seq = stateless_iss(flow, now_ms);
+  s.ack = seg.seq + 1;
+  s.flags = kSyn | kAck;
+  s.options.mss = cfg_.mss;
+  s.options.wscale = cfg_.wscale;
+  ChallengeOption copt;
+  copt.k = ch.diff.k;
+  copt.m = ch.diff.m;
+  copt.sol_len = ch.sol_len;
+  copt.preimage = ch.preimage;
+  if (cfg_.use_timestamps && seg.options.ts.has_value()) {
+    s.options.ts = TimestampsOption{now_ms, seg.options.ts->tsval};
+  } else {
+    copt.embedded_ts = now_ms;
+  }
+  s.options.challenge = std::move(copt);
+  ++counters_.challenges_sent;
+  ++counters_.synacks_sent;
+  return s;
+}
+
+Segment Listener::make_cookie_synack(const Segment& seg, const FlowKey& flow,
+                                     SimTime now) {
+  const std::uint16_t peer_mss = seg.options.mss.value_or(536);
+  const std::uint32_t cookie =
+      cookies_.encode(flow, seg.seq, peer_mss, to_sec(now));
+  counters_.crypto_hash_ops += 1;
+  ++hash_ops_pending_;
+
+  Segment s;
+  s.saddr = seg.daddr;
+  s.daddr = seg.saddr;
+  s.sport = seg.dport;
+  s.dport = seg.sport;
+  s.seq = cookie;
+  s.ack = seg.seq + 1;
+  s.flags = kSyn | kAck;
+  // SYN cookies cannot carry wscale and only an approximate MSS — this is
+  // the performance loss §5 calls out.
+  s.options.mss = SynCookieCodec::kMssTable[SynCookieCodec::mss_to_index(peer_mss)];
+  if (cfg_.use_timestamps && seg.options.ts.has_value()) {
+    s.options.ts = TimestampsOption{to_ms(now), seg.options.ts->tsval};
+  }
+  ++counters_.cookies_sent;
+  ++counters_.synacks_sent;
+  return s;
+}
+
 Segment Listener::make_rst(const Segment& in) const {
   Segment s;
   s.saddr = in.daddr;
@@ -220,72 +252,25 @@ std::vector<Segment> Listener::handle_syn(SimTime now, const Segment& seg) {
   // send a challenge-ACK here).
   if (established_.contains(flow)) return {};
 
-  const bool peer_ts = seg.options.ts.has_value();
-  const std::uint16_t peer_mss = seg.options.mss.value_or(536);
-
-  if (cfg_.mode == DefenseMode::kPuzzles && protection_active() && engine_) {
-    // Stateless challenge path: derive everything from the secret and the
-    // packet; nothing is enqueued.
-    puzzle::FlowBinding bind{seg.saddr, seg.daddr, seg.sport, seg.dport, seg.seq};
-    const puzzle::Challenge ch =
-        engine_->make_challenge(bind, now_ms, cfg_.difficulty);
-    hash_ops_pending_ += static_cast<std::uint64_t>(puzzle::Difficulty::generate_hashes());
-    counters_.crypto_hash_ops += 1;
-
-    Segment s;
-    s.saddr = seg.daddr;
-    s.daddr = seg.saddr;
-    s.sport = seg.dport;
-    s.dport = seg.sport;
-    s.seq = stateless_iss(flow, now_ms);
-    s.ack = seg.seq + 1;
-    s.flags = kSyn | kAck;
-    s.options.mss = cfg_.mss;
-    s.options.wscale = cfg_.wscale;
-    ChallengeOption copt;
-    copt.k = ch.diff.k;
-    copt.m = ch.diff.m;
-    copt.sol_len = ch.sol_len;
-    copt.preimage = ch.preimage;
-    if (cfg_.use_timestamps && peer_ts) {
-      s.options.ts = TimestampsOption{now_ms, seg.options.ts->tsval};
-    } else {
-      copt.embedded_ts = now_ms;
-    }
-    s.options.challenge = std::move(copt);
-    ++counters_.challenges_sent;
-    ++counters_.synacks_sent;
-    return {s};
+  switch (policy_->on_syn(now, queue_view()).action) {
+    case defense::SynAction::kChallenge:
+      // Policies only request a challenge when the view showed an engine;
+      // treat a violation as overload (nothing can be minted).
+      if (!engine_) {
+        ++counters_.drops_listen_full;
+        return {};
+      }
+      return {make_challenge_synack(seg, flow, now_ms)};
+    case defense::SynAction::kCookie:
+      return {make_cookie_synack(seg, flow, now)};
+    case defense::SynAction::kDrop:
+      ++counters_.drops_listen_full;
+      return {};
+    case defense::SynAction::kEnqueue:
+      break;
   }
-
-  const bool cookie_mode =
-      cfg_.mode == DefenseMode::kSynCookies ||
-      (cfg_.mode == DefenseMode::kPuzzles && !engine_ && cfg_.cookie_fallback);
-  if (cookie_mode && listen_.full()) {
-    const std::uint32_t cookie =
-        cookies_.encode(flow, seg.seq, peer_mss, to_sec(now));
-    counters_.crypto_hash_ops += 1;
-    ++hash_ops_pending_;
-
-    Segment s;
-    s.saddr = seg.daddr;
-    s.daddr = seg.saddr;
-    s.sport = seg.dport;
-    s.dport = seg.sport;
-    s.seq = cookie;
-    s.ack = seg.seq + 1;
-    s.flags = kSyn | kAck;
-    // SYN cookies cannot carry wscale and only an approximate MSS — this is
-    // the performance loss §5 calls out.
-    s.options.mss = SynCookieCodec::kMssTable[SynCookieCodec::mss_to_index(peer_mss)];
-    if (cfg_.use_timestamps && peer_ts) {
-      s.options.ts = TimestampsOption{now_ms, seg.options.ts->tsval};
-    }
-    ++counters_.cookies_sent;
-    ++counters_.synacks_sent;
-    return {s};
-  }
-
+  // No stateless answer and no room: the SYN is dropped even if the policy
+  // asked to enqueue (queue mechanics stay with the listener).
   if (listen_.full()) {
     ++counters_.drops_listen_full;
     return {};
@@ -296,10 +281,10 @@ std::vector<Segment> Listener::handle_syn(SimTime now, const Segment& seg) {
   entry.flow = flow;
   entry.client_isn = seg.seq;
   entry.iss = static_cast<std::uint32_t>(rng_.next());
-  entry.peer_mss = peer_mss;
+  entry.peer_mss = seg.options.mss.value_or(536);
   entry.peer_wscale = seg.options.wscale.value_or(0);
-  entry.peer_ts_ok = peer_ts;
-  entry.peer_tsval = peer_ts ? seg.options.ts->tsval : 0;
+  entry.peer_ts_ok = seg.options.ts.has_value();
+  entry.peer_tsval = entry.peer_ts_ok ? seg.options.ts->tsval : 0;
   entry.created = now;
   entry.next_retx = now + cfg_.synack_timeout;
   listen_.insert(entry);
@@ -312,9 +297,10 @@ std::vector<Segment> Listener::handle_syn(SimTime now, const Segment& seg) {
 std::vector<Segment> Listener::handle_ack(SimTime now, const Segment& seg) {
   ++counters_.acks_received;
   const FlowKey flow = FlowKey::from_incoming(seg);
+  const defense::AckDecision dispatch = policy_->on_ack(now, queue_view());
 
   // 1. ACK carrying a puzzle solution.
-  if (seg.options.solution && cfg_.mode == DefenseMode::kPuzzles && engine_) {
+  if (seg.options.solution && dispatch.check_solution && engine_) {
     return handle_solution_ack(now, seg);
   }
 
@@ -360,11 +346,9 @@ std::vector<Segment> Listener::handle_ack(SimTime now, const Segment& seg) {
     return {};
   }
 
-  // 4. Possible SYN-cookie ACK (no local state at all).
-  const bool cookie_mode =
-      cfg_.mode == DefenseMode::kSynCookies ||
-      (cfg_.mode == DefenseMode::kPuzzles && !engine_ && cfg_.cookie_fallback);
-  if (cookie_mode && seg.payload_bytes == 0) {
+  // 4. Possible SYN-cookie ACK (no local state at all). Cookie ACKs never
+  // carry payload; the decode itself stays listener mechanics.
+  if (dispatch.check_cookie && seg.payload_bytes == 0) {
     const std::uint32_t cookie = seg.ack - 1;
     const std::uint32_t client_isn = seg.seq - 1;
     counters_.crypto_hash_ops += 1;
@@ -525,7 +509,15 @@ void Listener::establish(SimTime now, const AcceptedConnection& conn) {
 }
 
 std::vector<Segment> Listener::on_tick(SimTime now) {
-  update_protection(now);
+  policy_->observe(now, queue_view());
+  // Policy control point: e.g. the adaptive decorator retunes difficulty
+  // from the counter-derived demand/yield signals.
+  const defense::TickDecision decision =
+      policy_->on_tick(now, queue_view(), counters_);
+  if (decision.difficulty && *decision.difficulty != cfg_.difficulty) {
+    set_difficulty(*decision.difficulty);
+  }
+
   std::vector<Segment> out;
   const std::uint32_t now_ms = to_ms(now);
 

@@ -16,6 +16,13 @@
 //  * Difficulty (k, m) and mode are runtime-tunable, mirroring the sysctl
 //    interface.
 //
+// WHICH defense applies — and when it engages — is decided by a pluggable
+// defense::DefensePolicy (src/defense/policy.hpp) the listener consults at
+// its three decision points (on_syn / on_ack / on_tick). The listener owns
+// the mechanics: queues, retransmits, stateless credential validation and
+// wire formatting. The legacy DefenseMode enum survives as a compatibility
+// shim that maps to the equivalent policy (defense::PolicySpec::from_mode).
+//
 // The class is sans-I/O: callers feed segments and ticks in, and get
 // segments to transmit back. That makes it equally usable from unit tests,
 // the discrete-event simulator, and a raw-socket/DPDK shim.
@@ -28,7 +35,10 @@
 #include <vector>
 
 #include "crypto/secret.hpp"
+#include "defense/policy.hpp"
 #include "puzzle/engine.hpp"
+#include "tcp/counters.hpp"
+#include "tcp/defense_mode.hpp"
 #include "tcp/queues.hpp"
 #include "tcp/segment.hpp"
 #include "tcp/syncookie.hpp"
@@ -37,19 +47,18 @@
 
 namespace tcpz::tcp {
 
-enum class DefenseMode : std::uint8_t {
-  kNone,        ///< stock TCP: drop SYNs when the listen queue is full
-  kSynCookies,  ///< stateless cookies when the listen queue is full
-  kPuzzles,     ///< client puzzles when either queue is full
-};
-
-[[nodiscard]] const char* to_string(DefenseMode m);
-
 struct ListenerConfig {
   std::uint32_t local_addr = 0;
   std::uint16_t local_port = 80;
   std::size_t listen_backlog = 1024;
   std::size_t accept_backlog = 1024;
+  /// First-class defense selection: when set, the listener is built from
+  /// this factory and the legacy shim fields below (mode, cookie_fallback,
+  /// always_challenge, protection_hold, protection_engage_water) are
+  /// ignored. See defense::PolicySpec::factory().
+  defense::PolicyFactory policy;
+  /// Legacy shim: when `policy` is unset, the mode plus the knobs below are
+  /// mapped to the equivalent policy via defense::PolicySpec.
   DefenseMode mode = DefenseMode::kNone;
   puzzle::Difficulty difficulty{2, 17};
   /// Use SYN cookies when puzzles are enabled but no engine is configured.
@@ -66,87 +75,29 @@ struct ListenerConfig {
   bool use_timestamps = true;
   /// Answer data segments for unknown flows with RST.
   bool rst_unknown = true;
-  /// Challenge every SYN regardless of queue state (Experiment 1 needs the
-  /// puzzle path exercised without an attack filling the queues).
+  /// Challenge every SYN regardless of queue state (legacy shim; see
+  /// defense::PuzzlePolicyConfig::always_challenge).
   bool always_challenge = false;
-  /// Hysteresis for the puzzles controller: protection engages the moment
-  /// either queue fills and stays "in effect" (§5) for this long after the
-  /// last full-queue observation. Without a hold, every established
-  /// connection momentarily opens one queue slot and an attacker SYN
-  /// recycles it within an RTT, leaking flood connections at the accept
-  /// drain rate. The default matches the ~30 s attack-end detection time
-  /// the paper reports; periodic re-fills during a long attack produce
-  /// exactly the opportunistic openings ("dark ticks") of Fig. 8.
+  /// Opportunistic-controller hysteresis (legacy shim; see
+  /// defense::PuzzlePolicyConfig::hold).
   SimTime protection_hold = SimTime::seconds(60);
-  /// Occupancy fraction at which the puzzles controller engages. 1.0 is the
-  /// paper's "when the socket's queue is full"; lowering it shrinks the
-  /// burst of unchallenged connections admitted while an attack ramps up,
-  /// at the cost of the listen queue no longer filling with parked attack
-  /// state (the saturation Fig. 10 shows).
+  /// Engage watermark (legacy shim; see
+  /// defense::PuzzlePolicyConfig::engage_water).
   double protection_engage_water = 1.0;
 };
 
-/// Everything the evaluation measures, in one place. All counters are
-/// cumulative over the listener's lifetime.
-struct ListenerCounters {
-  std::uint64_t syns_received = 0;
-  std::uint64_t synacks_sent = 0;        ///< total, all kinds
-  std::uint64_t plain_synacks = 0;       ///< no challenge, no cookie
-  std::uint64_t challenges_sent = 0;
-  std::uint64_t cookies_sent = 0;
-  std::uint64_t synack_retx = 0;
-  std::uint64_t drops_listen_full = 0;   ///< SYN dropped, no defence active
-
-  std::uint64_t acks_received = 0;
-  std::uint64_t solution_acks = 0;
-  std::uint64_t solutions_valid = 0;
-  std::uint64_t solutions_invalid = 0;
-  std::uint64_t solutions_expired = 0;
-  std::uint64_t solutions_bad_ackno = 0;
-  std::uint64_t solutions_duplicate = 0;  ///< replay of an already-admitted flow
-  std::uint64_t acks_ignored_accept_full = 0;
-  std::uint64_t cookies_valid = 0;
-  std::uint64_t cookies_invalid = 0;
-  std::uint64_t cookie_drops_accept_full = 0;
-  std::uint64_t acks_pending_accept = 0;  ///< handshake done, accept queue full
-
-  std::uint64_t established_total = 0;
-  std::uint64_t established_queue = 0;
-  std::uint64_t established_cookie = 0;
-  std::uint64_t established_puzzle = 0;
-
-  std::uint64_t half_open_expired = 0;
-  std::uint64_t rsts_sent = 0;
-  std::uint64_t data_segments = 0;
-  std::uint64_t data_unknown_flow = 0;
-
-  /// Secret-rotation bookkeeping (fleet deployments rotate the puzzle secret
-  /// across every replica; see src/fleet/secret_directory.hpp).
-  std::uint64_t secret_rotations = 0;
-  std::uint64_t solutions_valid_prev_epoch = 0;  ///< verified in the overlap window
-  std::uint64_t solutions_replay_filtered = 0;   ///< cluster-level replay rejections
-
-  /// Cumulative crypto work (hash operations) the listener performed for
-  /// challenge generation, solution verification and cookie MACs. The
-  /// simulator charges this to the server's CPU model.
-  std::uint64_t crypto_hash_ops = 0;
-};
-
-/// Field-wise accumulation, for fleet-level aggregation over replicas.
-ListenerCounters& operator+=(ListenerCounters& into, const ListenerCounters& c);
-
 class Listener {
  public:
-  /// `engine` may be null unless mode is kPuzzles (it can also be installed
-  /// later via set_engine, before enabling puzzles).
+  /// `engine` may be null unless the policy requires one (it can also be
+  /// installed later via set_engine, before switching to such a policy).
   Listener(ListenerConfig cfg, crypto::SecretKey secret, std::uint64_t seed,
            std::shared_ptr<const puzzle::PuzzleEngine> engine = nullptr);
 
   /// Feed one incoming segment; returns segments to transmit.
   [[nodiscard]] std::vector<Segment> on_segment(SimTime now, const Segment& seg);
 
-  /// Periodic maintenance: SYN-ACK retransmission, half-open expiry, and
-  /// promotion of handshake-complete entries into a freed accept queue.
+  /// Periodic maintenance: SYN-ACK retransmission, half-open expiry,
+  /// defense-policy control (protection latch, adaptive difficulty).
   [[nodiscard]] std::vector<Segment> on_tick(SimTime now);
 
   /// Application-side accept(): dequeues one established connection.
@@ -169,6 +120,17 @@ class Listener {
   }
 
   // -- runtime tuning (the sysctl interface of §5) --------------------------
+  /// Installs a new defense policy. Throws if the policy requires a
+  /// PuzzleEngine and none is installed; the current policy stays in place
+  /// on failure. A policy change is a defense *restart*: controller state
+  /// (protection latch, adaptive difficulty) starts fresh, so swapping
+  /// policies mid-attack re-opens the opportunistic window until the new
+  /// policy's own controller engages.
+  void set_policy(std::unique_ptr<defense::DefensePolicy> policy);
+  /// Legacy shim: installs the canonical policy for `mode`, carrying over
+  /// the shim knobs from the construction-time config. Same restart
+  /// semantics as set_policy — and it *replaces* whatever policy is active,
+  /// including a custom one installed via ListenerConfig::policy.
   void set_mode(DefenseMode mode);
   void set_difficulty(puzzle::Difficulty d);
   void set_engine(std::shared_ptr<const puzzle::PuzzleEngine> engine);
@@ -211,7 +173,11 @@ class Listener {
   }
   [[nodiscard]] const ListenerCounters& counters() const { return counters_; }
   [[nodiscard]] const ListenerConfig& config() const { return cfg_; }
-  /// True when the next SYN would be answered with a challenge.
+  /// The active defense policy (never null).
+  [[nodiscard]] const defense::DefensePolicy& policy() const { return *policy_; }
+  /// Name of the active policy, for reports and result files.
+  [[nodiscard]] const char* policy_name() const { return policy_->name(); }
+  /// True when the next SYN would be answered with a challenge or cookie.
   [[nodiscard]] bool protection_active() const;
 
   /// Returns the crypto hash-op count accumulated since the last call and
@@ -231,12 +197,20 @@ class Listener {
 
   [[nodiscard]] Segment make_synack(const HalfOpenEntry& entry,
                                     std::uint32_t now_ms) const;
+  [[nodiscard]] Segment make_challenge_synack(const Segment& seg,
+                                              const FlowKey& flow,
+                                              std::uint32_t now_ms);
+  [[nodiscard]] Segment make_cookie_synack(const Segment& seg,
+                                           const FlowKey& flow, SimTime now);
   [[nodiscard]] Segment make_rst(const Segment& in) const;
   [[nodiscard]] std::uint32_t stateless_iss(const FlowKey& flow,
                                             std::uint32_t ts) const;
   [[nodiscard]] static std::uint32_t stateless_iss_with(
       const crypto::SecretKey& secret, const FlowKey& flow, std::uint32_t ts);
   void establish(SimTime now, const AcceptedConnection& conn);
+
+  /// The read-only listener snapshot handed to the defense policy.
+  [[nodiscard]] defense::QueueView queue_view() const;
 
   /// Truncation to the 32-bit millisecond wire clock (TCP timestamps and the
   /// challenge/solution blocks are 32-bit on the wire). This wraps every
@@ -264,20 +238,17 @@ class Listener {
   std::uint32_t epoch_ = 0;
   SynCookieCodec cookies_;
   Rng rng_;
+  std::unique_ptr<defense::DefensePolicy> policy_;
 
   ListenQueue listen_;
   AcceptQueue accept_;
   std::unordered_map<FlowKey, EstablishedConn, FlowKeyHash> established_;
-
-  void update_protection(SimTime now);
 
   DataHandler data_handler_;
   EstablishHandler establish_handler_;
   ReplayFilter replay_filter_;
   ListenerCounters counters_;
   std::uint64_t hash_ops_pending_ = 0;
-  bool protection_latched_ = false;
-  SimTime protection_hold_until_ = SimTime::zero();
 };
 
 }  // namespace tcpz::tcp

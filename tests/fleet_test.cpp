@@ -591,6 +591,55 @@ TEST(FleetScenario, PartialAdoptionLeaksThroughUnprotectedReplica) {
   }
 }
 
+TEST(FleetScenario, MixedPolicyFleetContainsLeakageToLegacyReplica) {
+  // Heterogeneous per-replica policies through the new spec API: one legacy
+  // (unprotected) replica, one adaptive-puzzles, one hybrid, one plain
+  // puzzles — all in one run. The partial-adoption invariant must hold
+  // through the policy layer exactly as it did with per-replica modes: the
+  // flood leaks through the legacy replica and every protected replica
+  // (whatever its policy flavour) contains it.
+  FleetScenarioConfig f = small_fleet(13);
+  f.base.duration = SimTime::seconds(45);
+  f.base.attack_end = SimTime::seconds(35);
+  f.base.n_bots = 4;
+  f.base.bot_rate = 200.0;
+  f.base.bots_solve = false;  // classic flood tool
+  f.base.attack = sim::AttackType::kConnFlood;
+  f.n_replicas = 4;
+  f.policy = BalancePolicy::kFiveTupleHash;
+  AdaptiveConfig actl;
+  actl.base = f.base.difficulty;
+  f.replica_policies = {defense::PolicySpec::none(),
+                        defense::PolicySpec::puzzles().with_adaptive(actl),
+                        defense::PolicySpec::hybrid(),
+                        defense::PolicySpec::puzzles()};
+  const FleetResult r = run_fleet_scenario(f);
+
+  // Reports name each replica's policy instead of a bare enum value.
+  ASSERT_EQ(r.replicas.size(), 4u);
+  EXPECT_EQ(r.replicas[0].policy, "none");
+  EXPECT_EQ(r.replicas[1].policy, "adaptive+puzzles");
+  EXPECT_EQ(r.replicas[2].policy, "hybrid");
+  EXPECT_EQ(r.replicas[3].policy, "puzzles");
+
+  // Late attack window (see PartialAdoptionLeaksThroughUnprotectedReplica):
+  // protected replicas have latched, remaining leakage flows through the
+  // legacy one.
+  const std::size_t lo = 25, hi = 34;
+  const double unprotected = r.replica_attacker_cps(0, lo, hi);
+  EXPECT_GT(unprotected, 1.0) << "flood should leak through the legacy replica";
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(unprotected, 3.0 * r.replica_attacker_cps(i, lo, hi))
+        << "protected replica " << i << " (" << r.replicas[i].policy
+        << ") leaked like the legacy one";
+  }
+  // The protected replicas minted challenges; the legacy one never did.
+  EXPECT_EQ(r.replicas[0].counters.challenges_sent, 0u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(r.replicas[i].counters.challenges_sent, 0u);
+  }
+}
+
 TEST(FleetScenario, RotationUnderLoadKeepsClientsConnected) {
   FleetScenarioConfig f = small_fleet(14);
   f.base.always_challenge = true;  // exercise the puzzle path continuously

@@ -47,8 +47,12 @@ INSTANTIATE_TEST_SUITE_P(Targets, PlannerSweepTest,
                          ::testing::Values(2e3, 1e4, 66'967.0, 140'630.0, 5e5,
                                            2e6, 5e7),
                          [](const auto& info) {
-                           return "t" + std::to_string(
-                                            static_cast<long>(info.param));
+                           // Built with += : `"t" + std::to_string(...)`
+                           // trips GCC 12's -Wrestrict false positive
+                           // (PR105651) under -O2 -Werror.
+                           std::string name = "t";
+                           name += std::to_string(static_cast<long>(info.param));
+                           return name;
                          });
 
 class BudgetSweepTest : public ::testing::TestWithParam<double> {};

@@ -1,0 +1,161 @@
+// Golden-trace regression tests for the defense-policy layer.
+//
+// The policy redesign (src/defense/) replaced the listener's hard-wired
+// DefenseMode branches with pluggable policies, under a hard constraint: the
+// refactor must be trace-preserving. These tests pin that property down so
+// future policy work can't silently drift the reproduction: the fixed-seed
+// scaled scenario and a fixed 3-replica fleet scenario are run under each
+// legacy mode, the full ListenerCounters struct is digested (FNV-1a over
+// every field, in declaration order), and the digest is compared against
+// values recorded from the pre-refactor implementation.
+//
+// If one of these digests changes, either (a) you changed handshake/defense
+// semantics — decide explicitly whether that is intended, and if so,
+// re-record with the harness below, or (b) you added a ListenerCounters
+// field — extend digest() and re-record. Re-recording is a one-liner: print
+// digest(counters) from a scratch main, or temporarily EXPECT the digest
+// against 0 and copy the failure output.
+#include <gtest/gtest.h>
+
+#include "fleet/scenario.hpp"
+#include "sim/scenario.hpp"
+
+namespace tcpz {
+namespace {
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// FNV-1a over every ListenerCounters field, in declaration order.
+std::uint64_t digest(const tcp::ListenerCounters& c) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv(h, c.syns_received);
+  h = fnv(h, c.synacks_sent);
+  h = fnv(h, c.plain_synacks);
+  h = fnv(h, c.challenges_sent);
+  h = fnv(h, c.cookies_sent);
+  h = fnv(h, c.synack_retx);
+  h = fnv(h, c.drops_listen_full);
+  h = fnv(h, c.acks_received);
+  h = fnv(h, c.solution_acks);
+  h = fnv(h, c.solutions_valid);
+  h = fnv(h, c.solutions_invalid);
+  h = fnv(h, c.solutions_expired);
+  h = fnv(h, c.solutions_bad_ackno);
+  h = fnv(h, c.solutions_duplicate);
+  h = fnv(h, c.acks_ignored_accept_full);
+  h = fnv(h, c.cookies_valid);
+  h = fnv(h, c.cookies_invalid);
+  h = fnv(h, c.cookie_drops_accept_full);
+  h = fnv(h, c.acks_pending_accept);
+  h = fnv(h, c.established_total);
+  h = fnv(h, c.established_queue);
+  h = fnv(h, c.established_cookie);
+  h = fnv(h, c.established_puzzle);
+  h = fnv(h, c.half_open_expired);
+  h = fnv(h, c.rsts_sent);
+  h = fnv(h, c.data_segments);
+  h = fnv(h, c.data_unknown_flow);
+  h = fnv(h, c.secret_rotations);
+  h = fnv(h, c.solutions_valid_prev_epoch);
+  h = fnv(h, c.solutions_replay_filtered);
+  h = fnv(h, c.crypto_hash_ops);
+  return h;
+}
+
+/// The fixed-seed scaled §6 scenario (seed 42, 120 s, attack 30–80 s).
+sim::ScenarioConfig scaled_scenario(tcp::DefenseMode mode) {
+  sim::ScenarioConfig cfg;
+  cfg = cfg.scaled();
+  cfg.defense = mode;
+  return cfg;
+}
+
+/// A fixed 3-replica fleet scenario exercising rotation, the shared replay
+/// cache and a bot mix on a short timeline.
+fleet::FleetScenarioConfig fleet_scenario(tcp::DefenseMode mode) {
+  fleet::FleetScenarioConfig f;
+  f.base.duration = SimTime::seconds(40);
+  f.base.attack_start = SimTime::seconds(10);
+  f.base.attack_end = SimTime::seconds(30);
+  f.base.n_clients = 6;
+  f.base.client_rate = 10.0;
+  f.base.response_bytes = 20'000;
+  f.base.n_bots = 4;
+  f.base.bot_rate = 200.0;
+  f.base.protection_hold = SimTime::seconds(20);
+  f.base.defense = mode;
+  f.n_replicas = 3;
+  f.rotation_interval = SimTime::seconds(10);
+  f.rotation_overlap = SimTime::seconds(3);
+  return f;
+}
+
+std::uint64_t fleet_replica_digest(const fleet::FleetResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& rep : r.replicas) h = fnv(h, digest(rep.counters));
+  return h;
+}
+
+// Golden values recorded from the pre-refactor (DefenseMode-branching)
+// listener at commit e763b18, reproduced byte-for-byte by the policy layer.
+struct Golden {
+  tcp::DefenseMode mode;
+  const char* policy_name;
+  std::uint64_t sim_digest;
+  std::uint64_t fleet_replicas_digest;
+  std::uint64_t fleet_cluster_digest;
+};
+
+constexpr Golden kGolden[] = {
+    {tcp::DefenseMode::kNone, "none", 0x78a30ab2a5206233ull,
+     0x3b5c5ab4e3249d41ull, 0xb3f65322c5a8527bull},
+    {tcp::DefenseMode::kSynCookies, "syncookies", 0x2c1684d2ad0232dfull,
+     0x46a9766f59be29d8ull, 0x1d670d95da45f577ull},
+    {tcp::DefenseMode::kPuzzles, "puzzles", 0xa420b9e62c8200c4ull,
+     0x3eca54a90ee8646cull, 0x1cb6246df9661e67ull},
+};
+
+class PolicyTrace : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(PolicyTrace, ScaledScenarioMatchesPreRefactorCounters) {
+  const Golden& g = GetParam();
+  const auto r = sim::run_scenario(scaled_scenario(g.mode));
+  EXPECT_EQ(digest(r.server.counters), g.sim_digest)
+      << "counter trace drifted for mode " << tcp::to_string(g.mode);
+  EXPECT_EQ(r.server.policy, g.policy_name);
+}
+
+TEST_P(PolicyTrace, FleetScenarioMatchesPreRefactorCounters) {
+  const Golden& g = GetParam();
+  const auto r = fleet::run_fleet_scenario(fleet_scenario(g.mode));
+  EXPECT_EQ(fleet_replica_digest(r), g.fleet_replicas_digest)
+      << "per-replica counter trace drifted for mode " << tcp::to_string(g.mode);
+  EXPECT_EQ(digest(r.cluster), g.fleet_cluster_digest)
+      << "cluster counter trace drifted for mode " << tcp::to_string(g.mode);
+  for (const auto& rep : r.replicas) EXPECT_EQ(rep.policy, g.policy_name);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, PolicyTrace, ::testing::ValuesIn(kGolden),
+                         [](const auto& info) {
+                           return std::string(tcp::to_string(info.param.mode));
+                         });
+
+// The explicit PolicySpec path must be indistinguishable from the legacy
+// DefenseMode shim: same spec, same trace.
+TEST(PolicyTrace, ExplicitSpecMatchesLegacyShim) {
+  sim::ScenarioConfig cfg = scaled_scenario(tcp::DefenseMode::kPuzzles);
+  defense::PolicySpec spec = defense::PolicySpec::puzzles();
+  spec.protection_hold = cfg.protection_hold;
+  cfg.policy = spec;
+  const auto r = sim::run_scenario(cfg);
+  EXPECT_EQ(digest(r.server.counters), kGolden[2].sim_digest);
+}
+
+}  // namespace
+}  // namespace tcpz
