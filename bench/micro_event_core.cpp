@@ -258,7 +258,12 @@ double run_retx_workload(std::uint64_t seed, std::uint64_t n_events,
 /// Deschedule workload (wheel core only): every event gets a shadow timer
 /// that is cancelled before it could fire — the retransmit/expiry pattern.
 /// The seed queue cannot express this; it fires tombstones instead.
-double run_cancel_workload(std::uint64_t n_events) {
+/// `wheel_fraction_out` reports how many cancels actually took the O(1)
+/// wheel-unlink path this bench claims to measure: a fully-drained run()
+/// used to park the cursor in the far future, silently degrading every
+/// later batch to the lazy heap-skeleton cancel. The simulator now
+/// re-anchors the cursor after a draining run, and this fraction pins it.
+double run_cancel_workload(std::uint64_t n_events, double& wheel_fraction_out) {
   tcpz::net::Simulator sim;
   Rng rng(7);
   std::uint64_t fired = 0;
@@ -275,13 +280,17 @@ double run_cancel_workload(std::uint64_t n_events) {
           [&fired] { ++fired; }));
     }
     for (auto& h : handles) (void)sim.cancel(h);
-    sim.run();  // nothing left to fire; advances nothing
+    sim.run();  // nothing left to fire; re-anchors the wheel cursor
   }
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   if (fired != 0) std::printf("BUG: %llu cancelled timers fired\n",
                               static_cast<unsigned long long>(fired));
+  wheel_fraction_out = sim.events_cancelled() == 0
+                           ? 0.0
+                           : static_cast<double>(sim.events_cancelled_wheel()) /
+                                 static_cast<double>(sim.events_cancelled());
   return secs;
 }
 
@@ -340,13 +349,18 @@ int main(int argc, char** argv) {
   benchutil::metric("retx_seed_queue_events_per_sec", retx_seed_eps);
   benchutil::metric("retx_speedup", retx_wheel_eps / retx_seed_eps);
 
-  const double cancel_secs = run_cancel_workload(smoke ? 50'000 : 500'000);
+  double cancel_wheel_fraction = 0.0;
+  const double cancel_secs =
+      run_cancel_workload(smoke ? 50'000 : 500'000, cancel_wheel_fraction);
   benchutil::metric("cancel_ops_per_sec",
                     static_cast<double>(smoke ? 50'000 : 500'000) * 2 /
                         cancel_secs);  // schedule + cancel per op
+  benchutil::metric("cancel_wheel_unlink_fraction", cancel_wheel_fraction);
 
   benchutil::check("identical firing order on packet chains",
                    chain_digests_match);
+  benchutil::check("cancel workload measures the O(1) wheel unlink",
+                   cancel_wheel_fraction >= 0.99);
   benchutil::check("identical firing order on the retransmit pattern",
                    retx_digest_wheel == retx_digest_seed);
   benchutil::check("wheel >= 2x seed queue on pure packet chains",

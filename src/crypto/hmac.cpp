@@ -4,18 +4,27 @@
 #include <cstring>
 
 namespace tcpz::crypto {
+namespace {
 
-Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
-                         std::span<const std::uint8_t> message) {
-  constexpr std::size_t kBlock = 64;
+constexpr std::size_t kBlock = 64;
+
+std::array<std::uint8_t, kBlock> normalize_key(
+    std::span<const std::uint8_t> key) {
   std::array<std::uint8_t, kBlock> key_block{};
-
   if (key.size() > kBlock) {
     const Sha256Digest kh = Sha256::hash(key);
     std::memcpy(key_block.data(), kh.data(), kh.size());
-  } else {
+  } else if (!key.empty()) {
     std::memcpy(key_block.data(), key.data(), key.size());
   }
+  return key_block;
+}
+
+}  // namespace
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> message) {
+  const std::array<std::uint8_t, kBlock> key_block = normalize_key(key);
 
   std::array<std::uint8_t, kBlock> ipad{};
   std::array<std::uint8_t, kBlock> opad{};
@@ -41,6 +50,69 @@ Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
       key, std::span<const std::uint8_t>(
                reinterpret_cast<const std::uint8_t*>(message.data()),
                message.size()));
+}
+
+HmacKey::HmacKey(std::span<const std::uint8_t> key) {
+  const std::array<std::uint8_t, kBlock> key_block = normalize_key(key);
+  std::array<std::uint8_t, kBlock> pad;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    pad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+  }
+  inner_ = Sha256::initial_state();
+  Sha256::compress(inner_, pad.data());
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    pad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+  outer_ = Sha256::initial_state();
+  Sha256::compress(outer_, pad.data());
+}
+
+Sha256Digest HmacKey::mac(std::span<const std::uint8_t> message) const {
+  // Resume from the cached midstates: the pad blocks are already absorbed,
+  // so only the message itself (plus finalization) is compressed here.
+  Sha256Digest inner_digest;
+  if (message.size() <= 55) {
+    // Per-packet fast path: every MAC the stack issues (pre-images, cookies,
+    // stateless ISS) is under 56 bytes, so message + 0x80 + length pad into
+    // ONE block — build it on the stack and compress directly. Exactly two
+    // compressions per MAC, no incremental-hash machinery at all.
+    std::uint8_t block[kBlock] = {};
+    if (!message.empty()) {
+      std::memcpy(block, message.data(), message.size());
+    }
+    block[message.size()] = 0x80;
+    const std::uint64_t inner_bits = (kBlock + message.size()) * 8;
+    for (int i = 0; i < 8; ++i) {
+      block[56 + i] = static_cast<std::uint8_t>(inner_bits >> (56 - 8 * i));
+    }
+    Sha256::State inner = inner_;
+    Sha256::compress(inner, block);
+    inner_digest = Sha256::state_to_digest(inner);
+  } else {
+    Sha256 h;
+    h.state_ = inner_;
+    h.bit_count_ = kBlock * 8;
+    h.update(message);
+    inner_digest = h.finalize();
+  }
+
+  // Outer hash: midstate + 32-byte inner digest + padding — always exactly
+  // one block: digest, 0x80, zeros, then the 96-byte (768-bit) total length.
+  std::uint8_t block[kBlock] = {};
+  std::memcpy(block, inner_digest.data(), inner_digest.size());
+  block[32] = 0x80;
+  constexpr std::uint64_t kOuterBits = (kBlock + kSha256DigestSize) * 8;
+  for (int i = 0; i < 8; ++i) {
+    block[56 + i] = static_cast<std::uint8_t>(kOuterBits >> (56 - 8 * i));
+  }
+  Sha256::State outer = outer_;
+  Sha256::compress(outer, block);
+  return Sha256::state_to_digest(outer);
+}
+
+Sha256Digest HmacKey::mac(std::string_view message) const {
+  return mac(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(message.data()), message.size()));
 }
 
 }  // namespace tcpz::crypto

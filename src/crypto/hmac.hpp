@@ -1,6 +1,19 @@
 // HMAC-SHA256 (RFC 2104). Used by the SYN-cookie generator and by the puzzle
 // pre-image construction, which keys the hash with the server secret so
 // clients cannot forge challenges for arbitrary flows.
+//
+// Two forms:
+//  * hmac_sha256() — the one-shot reference. Re-derives the full key
+//    schedule (pad xors + two extra compressions) on every call; kept as the
+//    independent implementation the midstate cache is property-tested
+//    against.
+//  * HmacKey — precomputes the ipad/opad SHA-256 midstates once per key.
+//    The server secret only changes at rotation, while every defended
+//    SYN/ACK pays at least one HMAC (challenge derivation, solution
+//    verification, SYN cookies, stateless ISS), so caching the midstates
+//    drops each per-packet MAC from 4+ compressions plus key-schedule setup
+//    to ~2 compressions. Bit-identical to hmac_sha256() for every
+//    key/message, including keys longer than the 64-byte block.
 #pragma once
 
 #include <span>
@@ -15,5 +28,26 @@ namespace tcpz::crypto {
 
 [[nodiscard]] Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
                                        std::string_view message);
+
+/// Precomputed HMAC-SHA256 key (see file comment). Cheap to copy — two
+/// 32-byte midstates, no heap — and trivially comparable: two HmacKeys are
+/// equal iff they were derived from the same effective key block.
+class HmacKey {
+ public:
+  /// The all-zero key (HMAC treats a missing key as zero-padded anyway);
+  /// exists so key-carrying types stay default-constructible.
+  HmacKey() : HmacKey(std::span<const std::uint8_t>{}) {}
+  explicit HmacKey(std::span<const std::uint8_t> key);
+
+  /// One MAC: inner midstate + message, outer midstate + inner digest.
+  [[nodiscard]] Sha256Digest mac(std::span<const std::uint8_t> message) const;
+  [[nodiscard]] Sha256Digest mac(std::string_view message) const;
+
+  bool operator==(const HmacKey&) const = default;
+
+ private:
+  Sha256::State inner_{};  ///< compression state after the ipad block
+  Sha256::State outer_{};  ///< compression state after the opad block
+};
 
 }  // namespace tcpz::crypto

@@ -15,24 +15,22 @@ SecretKey SecretKey::from_seed(std::uint64_t seed) {
   seed_bytes.reserve(16);
   put_u64be(seed_bytes, seed);
   put_u64be(seed_bytes, seed ^ 0xa5a5a5a5a5a5a5a5ull);
-  const Sha256Digest d = Sha256::hash(seed_bytes);
-  SecretKey k;
-  std::copy(d.begin(), d.end(), k.key_.begin());
-  return k;
+  static_assert(kSha256DigestSize == kSecretKeySize);
+  return SecretKey(Sha256::hash(seed_bytes));
 }
 
 SecretKey SecretKey::random() {
-  SecretKey k;
+  std::array<std::uint8_t, kSecretKeySize> key;
   std::FILE* f = std::fopen("/dev/urandom", "rb");
   if (f == nullptr) {
     throw std::runtime_error("SecretKey::random: cannot open /dev/urandom");
   }
-  const std::size_t n = std::fread(k.key_.data(), 1, k.key_.size(), f);
+  const std::size_t n = std::fread(key.data(), 1, key.size(), f);
   std::fclose(f);
-  if (n != k.key_.size()) {
+  if (n != key.size()) {
     throw std::runtime_error("SecretKey::random: short read from urandom");
   }
-  return k;
+  return SecretKey(key);
 }
 
 }  // namespace tcpz::crypto

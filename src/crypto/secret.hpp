@@ -1,11 +1,18 @@
 // Server secret keys. The paper generates the secret once per listening
 // socket lifetime (§5); we mirror that: a SecretKey is created when the
 // listener starts and is used for every challenge pre-image and SYN cookie.
+//
+// Because the secret only changes at (fleet) rotation while every defended
+// packet MACs with it, the key carries its precomputed HMAC midstates
+// (crypto::HmacKey): the key schedule is paid once per key — at from_seed /
+// random / SecretDirectory::rotate — never per packet.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <span>
+
+#include "crypto/hmac.hpp"
 
 namespace tcpz::crypto {
 
@@ -13,6 +20,9 @@ inline constexpr std::size_t kSecretKeySize = 32;
 
 class SecretKey {
  public:
+  /// The all-zero key; real keys come from from_seed()/random().
+  SecretKey() : SecretKey(std::array<std::uint8_t, kSecretKeySize>{}) {}
+
   /// Deterministic key derived from a seed — simulations must be
   /// reproducible, so the simulator derives per-listener keys from the
   /// scenario seed rather than the OS entropy pool.
@@ -24,10 +34,17 @@ class SecretKey {
 
   [[nodiscard]] std::span<const std::uint8_t> bytes() const { return key_; }
 
-  bool operator==(const SecretKey&) const = default;
+  /// The cached-midstate HMAC for this secret (~2 compressions per mac()).
+  [[nodiscard]] const HmacKey& hmac() const { return mac_; }
+
+  bool operator==(const SecretKey& other) const { return key_ == other.key_; }
 
  private:
+  explicit SecretKey(const std::array<std::uint8_t, kSecretKeySize>& key)
+      : key_(key), mac_(std::span<const std::uint8_t>(key_.data(), key_.size())) {}
+
   std::array<std::uint8_t, kSecretKeySize> key_{};
+  HmacKey mac_;
 };
 
 }  // namespace tcpz::crypto

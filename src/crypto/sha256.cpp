@@ -1,5 +1,6 @@
 #include "crypto/sha256.hpp"
 
+#include <bit>
 #include <cstring>
 
 namespace tcpz::crypto {
@@ -18,63 +19,93 @@ constexpr std::array<std::uint32_t, 64> kK = {
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
-constexpr std::uint32_t rotr(std::uint32_t x, int n) {
-  return (x >> n) | (x << (32 - n));
+// FIPS 180-4 sigma functions. std::rotr compiles to a single ror.
+constexpr std::uint32_t lsig0(std::uint32_t x) {
+  return std::rotr(x, 7) ^ std::rotr(x, 18) ^ (x >> 3);
+}
+constexpr std::uint32_t lsig1(std::uint32_t x) {
+  return std::rotr(x, 17) ^ std::rotr(x, 19) ^ (x >> 10);
+}
+constexpr std::uint32_t usig0(std::uint32_t x) {
+  return std::rotr(x, 2) ^ std::rotr(x, 13) ^ std::rotr(x, 22);
+}
+constexpr std::uint32_t usig1(std::uint32_t x) {
+  return std::rotr(x, 6) ^ std::rotr(x, 11) ^ std::rotr(x, 25);
+}
+
+constexpr std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
 }
 
 }  // namespace
 
 void Sha256::reset() {
-  state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  state_ = initial_state();
   bit_count_ = 0;
   buffer_len_ = 0;
 }
 
-void Sha256::process_block(const std::uint8_t* block) {
+void Sha256::compress(State& state, const std::uint8_t* block) {
+  // The message schedule is kept as a loop (the compiler vectorizes it);
+  // the 64 rounds are fully unrolled with the register rotation expressed as
+  // argument permutation, so the round state lives in registers end to end —
+  // no h=g; g=f; ... shuffle chain per round.
   std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
-           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
-           static_cast<std::uint32_t>(block[i * 4 + 3]);
-  }
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + i * 4);
   for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 =
-        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 =
-        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    w[i] = w[i - 16] + lsig0(w[i - 15]) + w[i - 7] + lsig1(w[i - 2]);
   }
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
 
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
+#define TCPZ_SHA256_ROUND(a, b, c, d, e, f, g, h, i)                       \
+  {                                                                        \
+    const std::uint32_t t1 =                                               \
+        h + usig1(e) + ((e & f) ^ (~e & g)) + kK[i] + w[i];                \
+    const std::uint32_t t2 = usig0(a) + ((a & b) ^ (a & c) ^ (b & c));     \
+    d += t1;                                                               \
+    h = t1 + t2;                                                           \
   }
+  for (int i = 0; i < 64; i += 8) {
+    TCPZ_SHA256_ROUND(a, b, c, d, e, f, g, h, i + 0)
+    TCPZ_SHA256_ROUND(h, a, b, c, d, e, f, g, i + 1)
+    TCPZ_SHA256_ROUND(g, h, a, b, c, d, e, f, i + 2)
+    TCPZ_SHA256_ROUND(f, g, h, a, b, c, d, e, i + 3)
+    TCPZ_SHA256_ROUND(e, f, g, h, a, b, c, d, i + 4)
+    TCPZ_SHA256_ROUND(d, e, f, g, h, a, b, c, i + 5)
+    TCPZ_SHA256_ROUND(c, d, e, f, g, h, a, b, i + 6)
+    TCPZ_SHA256_ROUND(b, c, d, e, f, g, h, a, i + 7)
+  }
+#undef TCPZ_SHA256_ROUND
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+Sha256::State Sha256::initial_state() {
+  return {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+          0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+}
+
+Sha256Digest Sha256::state_to_digest(const State& state) {
+  Sha256Digest out;
+  for (int i = 0; i < 8; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(state[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(state[i]);
+  }
+  return out;
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) {

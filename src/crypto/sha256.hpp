@@ -18,9 +18,14 @@ inline constexpr std::size_t kSha256DigestSize = 32;
 using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
 
 /// Incremental SHA-256. Usage: update() any number of times, then finalize().
-/// After finalize() the object can be reset() and reused.
+/// After finalize() the object can be reset() and reused. Copyable: the hot
+/// loops snapshot a partially-absorbed hash (HMAC midstates, the invariant
+/// preimage‖index prefix of the puzzle solve loop) and fork per message.
 class Sha256 {
  public:
+  /// The eight working words — a resumable compression-function midstate.
+  using State = std::array<std::uint32_t, 8>;
+
   Sha256() { reset(); }
 
   void reset();
@@ -35,10 +40,24 @@ class Sha256 {
   [[nodiscard]] static Sha256Digest hash(std::span<const std::uint8_t> data);
   [[nodiscard]] static Sha256Digest hash(std::string_view s);
 
- private:
-  void process_block(const std::uint8_t* block);
+  /// The raw compression function: folds one 64-byte block into `state`.
+  /// The keyed hot paths (HMAC midstates, the puzzle solution check) build
+  /// fully-padded single blocks on the stack and call this directly,
+  /// skipping the incremental buffering/finalization machinery.
+  static void compress(State& state, const std::uint8_t* block);
 
-  std::array<std::uint32_t, 8> state_{};
+  /// Fresh initial state (FIPS 180-4 H(0)), for direct compress() use.
+  [[nodiscard]] static State initial_state();
+
+  /// Serializes a compression state into the big-endian digest form.
+  [[nodiscard]] static Sha256Digest state_to_digest(const State& state);
+
+ private:
+  friend class HmacKey;  // seeds state_/bit_count_ from cached midstates
+
+  void process_block(const std::uint8_t* block) { compress(state_, block); }
+
+  State state_{};
   std::uint64_t bit_count_ = 0;
   std::array<std::uint8_t, 64> buffer_{};
   std::size_t buffer_len_ = 0;

@@ -126,6 +126,7 @@ bool EventCore::cancel(TimerHandle h) {
       unlink_from_wheel(rec);
       rec->action.reset();
       recycle(rec);
+      ++cancelled_wheel_total_;
       break;
     case EventLoc::kOrdered:
       // The ordered stages hold entries we cannot cheaply extract; drop the
@@ -297,6 +298,17 @@ EventRec* EventCore::pop_next(SimTime end) {
     }
     // Slots cascaded into the ordered stage; re-evaluate.
   }
+}
+
+void EventCore::reanchor(SimTime now) {
+  if (live_ != 0 || stage_cancelled_ != 0) return;
+  // Idle means every record is back in the pool: the wheel and both heaps
+  // are empty, and anything left in the batch vector is a spent-prefix husk
+  // pointing at recycled records. Drop the husks and pull the cursor back to
+  // the present so the next schedule files into the wheel again.
+  batch_.clear();
+  batch_idx_ = 0;
+  cur_tick_ = tick_of(now);
 }
 
 void EventCore::execute_and_recycle(EventRec* rec) {

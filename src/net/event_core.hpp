@@ -216,8 +216,23 @@ class EventCore {
   /// then returns the record to the pool.
   void execute_and_recycle(detail::EventRec* rec);
 
+  /// Re-anchors the wheel cursor to `now` when the core is completely idle
+  /// (no live events, no staged skeletons); a no-op otherwise. Draining the
+  /// queue walks the cursor to the pop bound — after a full run() that is
+  /// the far future, so without re-anchoring every later schedule_*() would
+  /// compare <= cur_tick_ and silently degrade to the ordered near heap
+  /// (correct, but O(log n) and without O(1) wheel cancellation). The
+  /// simulator calls this whenever a run leaves the core empty, so a reused
+  /// Simulator keeps the wheel's perf properties.
+  void reanchor(SimTime now);
+
   [[nodiscard]] std::size_t live() const { return live_; }
   [[nodiscard]] std::uint64_t cancelled_total() const { return cancelled_total_; }
+  /// Cancellations that took the O(1) wheel-unlink path (vs the lazy
+  /// staged-skeleton path) — exposed so benches/tests can pin the tier.
+  [[nodiscard]] std::uint64_t cancelled_from_wheel() const {
+    return cancelled_wheel_total_;
+  }
 
  private:
   struct SlotBitmap {
@@ -273,6 +288,7 @@ class EventCore {
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
   std::uint64_t cancelled_total_ = 0;
+  std::uint64_t cancelled_wheel_total_ = 0;
 };
 
 }  // namespace tcpz::net

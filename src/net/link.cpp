@@ -1,6 +1,7 @@
 #include "net/link.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "net/node.hpp"
 #include "net/simulator.hpp"
@@ -23,16 +24,6 @@ std::size_t Link::backlog_bytes() const {
   return static_cast<std::size_t>(busy_sec * bandwidth_bps_ / 8.0);
 }
 
-// GCC 12's -Wmaybe-uninitialized mis-tracks the delivery closure's
-// Segment copy (its std::optional option blocks hold vectors) once the
-// closure is inlined into the event core's inline-storage move: it warns
-// about the moved-from vector fields in the closure's destructor, which are
-// always initialized by the copy construction right above. False positive;
-// scoped to this function so real warnings elsewhere still fail -Werror.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
-#endif
 void Link::transmit(const tcp::Segment& seg) {
   const std::uint32_t bytes = seg.wire_size();
   if (backlog_bytes() + bytes > queue_cap_bytes_) {
@@ -50,15 +41,16 @@ void Link::transmit(const tcp::Segment& seg) {
 
   // The segment is copied into the closure: the wire owns its packet. This
   // is the hottest event in any scenario, so the closure must fit the event
-  // core's inline buffer — per-packet heap allocation would cap fleet-scale
-  // runs (see net/event_core.hpp).
+  // core's inline buffer AND the copy itself must be a plain memcpy —
+  // per-packet heap allocation would cap fleet-scale runs (see
+  // net/event_core.hpp). The option payloads live inline in the Segment
+  // (util/inline_bytes.hpp), which is what makes both asserts hold.
+  static_assert(std::is_trivially_copyable_v<tcp::Segment>,
+                "segment copies must be memcpys, not allocator calls");
   auto deliver = [this, seg] { dst_.deliver(seg); };
   static_assert(sizeof(deliver) <= detail::kInlineActionBytes,
                 "segment delivery closure must stay allocation-free");
   sim_.schedule_at(arrival, std::move(deliver));
 }
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 }  // namespace tcpz::net

@@ -32,6 +32,11 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_cancelled() const {
     return core_.cancelled_total();
   }
+  /// Of those, the ones descheduled via the O(1) wheel unlink (the rest
+  /// were lazily dropped from an ordered stage).
+  [[nodiscard]] std::uint64_t events_cancelled_wheel() const {
+    return core_.cancelled_from_wheel();
+  }
 
   /// Schedules `action` (any void() callable) at absolute time `at` and
   /// returns a handle that can deschedule it until it fires.
@@ -60,15 +65,20 @@ class Simulator {
       core_.execute_and_recycle(rec);
     }
     if (now_ < end) now_ = end;
+    core_.reanchor(now_);  // no-op unless the drain left the core idle
   }
 
   /// Runs until the event queue is empty; the clock stops at the last event.
+  /// The wheel cursor is re-anchored to the final clock, so a reused
+  /// simulator schedules through the O(1) wheel again instead of silently
+  /// degrading to the overflow/near heaps.
   void run() {
     while (detail::EventRec* rec = core_.pop_next(SimTime::max())) {
       now_ = rec->at;
       ++processed_;
       core_.execute_and_recycle(rec);
     }
+    core_.reanchor(now_);
   }
 
  private:

@@ -1,5 +1,7 @@
 #include "puzzle/engine.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
@@ -13,41 +15,120 @@ namespace {
 constexpr std::string_view kPreimageLabel = "tcpz-puzzle-preimage-v1";
 constexpr std::string_view kOracleLabel = "tcpz-puzzle-oracle-v1";
 
-Bytes preimage_message(const FlowBinding& flow, std::uint32_t timestamp_ms) {
-  Bytes msg;
-  msg.reserve(kPreimageLabel.size() + 20);
-  msg.insert(msg.end(), kPreimageLabel.begin(), kPreimageLabel.end());
-  put_u32be(msg, timestamp_ms);
-  put_u32be(msg, flow.isn);
-  put_u32be(msg, flow.saddr);
-  put_u32be(msg, flow.daddr);
-  put_u16be(msg, flow.sport);
-  put_u16be(msg, flow.dport);
-  return msg;
+/// Assembles the pre-image HMAC input into a caller-provided stack buffer
+/// (label + timestamp + flow identity, 43 bytes) — no heap on the per-packet
+/// path. Returns the message length.
+std::size_t preimage_message(const FlowBinding& flow, std::uint32_t timestamp_ms,
+                             std::uint8_t* out) {
+  std::memcpy(out, kPreimageLabel.data(), kPreimageLabel.size());
+  std::uint8_t* p = out + kPreimageLabel.size();
+  p = store_u32be(p, timestamp_ms);
+  p = store_u32be(p, flow.isn);
+  p = store_u32be(p, flow.saddr);
+  p = store_u32be(p, flow.daddr);
+  p = store_u16be(p, flow.sport);
+  p = store_u16be(p, flow.dport);
+  return static_cast<std::size_t>(p - out);
 }
 
-/// h(P || i || s): the solution-check hash of the scheme. `i` is the 1-based
-/// solution index, encoded in one byte as in our wire format.
-crypto::Sha256Digest solution_check_hash(const Bytes& preimage,
-                                         std::uint8_t index,
-                                         const Bytes& candidate) {
-  crypto::Sha256 h;
-  h.update(preimage);
-  const std::uint8_t idx[1] = {index};
-  h.update(std::span<const std::uint8_t>(idx, 1));
-  h.update(candidate);
-  return h.finalize();
+/// One cached-midstate HMAC (~2 compressions), truncated to sol_len bytes.
+Preimage derive_preimage_with(const crypto::HmacKey& key,
+                              const FlowBinding& flow,
+                              std::uint32_t timestamp_ms,
+                              std::uint8_t sol_len) {
+  std::uint8_t msg[64];
+  const std::size_t n = preimage_message(flow, timestamp_ms, msg);
+  const auto digest = key.mac(std::span<const std::uint8_t>(msg, n));
+  return Preimage(std::span<const std::uint8_t>(digest.data(), sol_len));
 }
 
-/// The scheme compares the first m bits of h(P||i||s) with the first m bits
-/// of P. P is `sol_len` bytes; m is guaranteed < 8*sol_len by construction.
-bool prefix_matches(const Bytes& preimage, const crypto::Sha256Digest& digest,
-                    unsigned m_bits) {
-  crypto::Sha256Digest p{};
-  const std::size_t n = std::min(preimage.size(), p.size());
-  std::copy(preimage.begin(), preimage.begin() + static_cast<long>(n), p.begin());
-  return crypto::prefix_bits_equal(p, digest, m_bits);
-}
+/// The m-bit prefix condition on h(P || i || s_i), with everything invariant
+/// across candidates hoisted out of the search loop: the brute force
+/// evaluates ~2^(m-1) candidates per solution, and each of them used to
+/// re-absorb P and i from scratch and re-pad P into a digest-sized target.
+/// Here the P ‖ i prefix is written into a contiguous stack message once per
+/// index (and the padded target once per search); a candidate check is one
+/// tail memcpy plus the hash itself. The whole message is at most
+/// 2*kMaxSolLen+1 = 65 bytes, so midstate tricks buy nothing over hashing
+/// the assembled buffer — the win is not rebuilding it ~2^(m-1) times.
+class SolutionChecker {
+ public:
+  SolutionChecker(std::span<const std::uint8_t> preimage, unsigned m_bits)
+      : len_(preimage.size()), m_bits_(m_bits) {
+    std::memcpy(block_, preimage.data(), len_);
+    const std::size_t n = std::min(preimage.size(), target_.size());
+    std::copy(preimage.begin(), preimage.begin() + static_cast<long>(n),
+              target_.begin());
+    // |P ‖ i ‖ s| = 2*sol_len + 1 <= 65; with sol_len <= 27 the message plus
+    // SHA-256 padding fits one 64-byte block, so the padding and the length
+    // field are ALSO loop invariants — prebuild the whole padded block and
+    // run the bare compression function per candidate.
+    single_block_ = 2 * len_ + 1 <= 55;
+    if (single_block_) {
+      const std::size_t msg_len = 2 * len_ + 1;
+      std::memset(block_ + msg_len, 0, sizeof(block_) - msg_len);
+      block_[msg_len] = 0x80;
+      const std::uint64_t bits = msg_len * 8;
+      for (int i = 0; i < 8; ++i) {
+        block_[56 + i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+      }
+      // The m-bit comparison, precomputed at word level: the compression
+      // output is compared as big-endian words, skipping the digest
+      // serialization entirely on the per-candidate path.
+      for (int i = 0; i < 8; ++i) {
+        target_words_[static_cast<std::size_t>(i)] =
+            (static_cast<std::uint32_t>(target_[i * 4]) << 24) |
+            (static_cast<std::uint32_t>(target_[i * 4 + 1]) << 16) |
+            (static_cast<std::uint32_t>(target_[i * 4 + 2]) << 8) |
+            static_cast<std::uint32_t>(target_[i * 4 + 3]);
+      }
+    }
+  }
+
+  /// Fixes the 1-based solution index; invariant for a whole search.
+  void set_index(std::uint8_t index) { block_[len_] = index; }
+
+  /// One candidate check: splice s into the prebuilt P||i message, hash,
+  /// compare m bits.
+  [[nodiscard]] bool matches(std::span<const std::uint8_t> candidate) const {
+    if (candidate.size() != len_) {
+      // Off-length probe (candidate_matches is public): the prebuilt block
+      // assumes |s| == sol_len and cannot hold an arbitrary candidate, so
+      // hash P||i||s incrementally — same bytes the seed implementation
+      // hashed, any length.
+      crypto::Sha256 h;
+      h.update(std::span<const std::uint8_t>(block_, len_ + 1));
+      h.update(candidate);
+      return crypto::prefix_bits_equal(target_, h.finalize(), m_bits_);
+    }
+    std::memcpy(block_ + len_ + 1, candidate.data(), candidate.size());
+    if (single_block_) {
+      crypto::Sha256::State s = crypto::Sha256::initial_state();
+      crypto::Sha256::compress(s, block_);
+      const unsigned full_words = m_bits_ / 32;
+      for (unsigned i = 0; i < full_words; ++i) {
+        if (s[i] != target_words_[i]) return false;
+      }
+      const unsigned rem = m_bits_ % 32;
+      if (rem == 0) return true;
+      const std::uint32_t mask = ~std::uint32_t{0} << (32 - rem);
+      return ((s[full_words] ^ target_words_[full_words]) & mask) == 0;
+    }
+    const crypto::Sha256Digest d = crypto::Sha256::hash(
+        std::span<const std::uint8_t>(block_, len_ + 1 + candidate.size()));
+    return crypto::prefix_bits_equal(target_, d, m_bits_);
+  }
+
+ private:
+  /// P ‖ i ‖ s (up to 65 bytes for sol_len = 32), padded in place to a full
+  /// compression block when the message fits one (sol_len <= 27).
+  mutable std::uint8_t block_[2 * kMaxSolLen + 1];
+  std::size_t len_;  ///< |P| (== sol_len)
+  bool single_block_ = false;
+  crypto::Sha256Digest target_{};  ///< P zero-padded to digest width
+  std::array<std::uint32_t, 8> target_words_{};  ///< target_, big-endian words
+  unsigned m_bits_;
+};
 
 /// Timestamp freshness shared by both engines. The 32-bit millisecond wire
 /// timestamp wraps every ~49.7 simulated days, so the comparison uses
@@ -74,6 +155,14 @@ VerifyError check_freshness(std::uint32_t echoed_ms, std::uint32_t now_ms,
 
 void validate_difficulty(Difficulty diff, const EngineConfig& cfg) {
   if (diff.k == 0) throw std::invalid_argument("puzzle: k must be >= 1");
+  if (diff.k > kMaxSolutionValues) {
+    // Representability bound of Solution::values. (k*sol_len may still
+    // exceed the 40-byte TCP option space for engine-only use — e.g. the
+    // k=4, l=16 test grids; such a solution throws std::length_error only
+    // if it is ever packed into a SolutionOption, exactly where the seed
+    // implementation's wire encoder threw.)
+    throw std::invalid_argument("puzzle: k exceeds Solution value capacity");
+  }
   if (diff.m == 0) throw std::invalid_argument("puzzle: m must be >= 1");
   if (diff.m >= cfg.sol_len * 8u) {
     throw std::invalid_argument(
@@ -108,11 +197,9 @@ Sha256PuzzleEngine::Sha256PuzzleEngine(crypto::SecretKey secret,
   }
 }
 
-Bytes Sha256PuzzleEngine::derive_preimage(const FlowBinding& flow,
-                                          std::uint32_t timestamp_ms) const {
-  const auto digest =
-      crypto::hmac_sha256(secret_.bytes(), preimage_message(flow, timestamp_ms));
-  return Bytes(digest.begin(), digest.begin() + cfg_.sol_len);
+Preimage Sha256PuzzleEngine::derive_preimage(const FlowBinding& flow,
+                                             std::uint32_t timestamp_ms) const {
+  return derive_preimage_with(secret_.hmac(), flow, timestamp_ms, cfg_.sol_len);
 }
 
 Challenge Sha256PuzzleEngine::make_challenge(const FlowBinding& flow,
@@ -127,12 +214,12 @@ Challenge Sha256PuzzleEngine::make_challenge(const FlowBinding& flow,
   return c;
 }
 
-bool Sha256PuzzleEngine::candidate_matches(const Challenge& challenge,
-                                           std::uint8_t index,
-                                           const Bytes& candidate) {
-  return prefix_matches(challenge.preimage,
-                        solution_check_hash(challenge.preimage, index, candidate),
-                        challenge.diff.m);
+bool Sha256PuzzleEngine::candidate_matches(
+    const Challenge& challenge, std::uint8_t index,
+    std::span<const std::uint8_t> candidate) {
+  SolutionChecker checker(challenge.preimage, challenge.diff.m);
+  checker.set_index(index);
+  return checker.matches(candidate);
 }
 
 Solution Sha256PuzzleEngine::solve(const Challenge& challenge,
@@ -143,12 +230,16 @@ Solution Sha256PuzzleEngine::solve(const Challenge& challenge,
   sol.values.reserve(challenge.diff.k);
   hash_ops_out = 0;
 
+  // The P (and per-index P||i) prefix is absorbed once; the ~2^(m-1)
+  // candidates per solution only fork the midstate and hash themselves.
+  SolutionChecker checker(challenge.preimage, challenge.diff.m);
   for (unsigned i = 1; i <= challenge.diff.k; ++i) {
+    checker.set_index(static_cast<std::uint8_t>(i));
     // Start the counter at a random point so repeated solves of equivalent
     // puzzles do not share a search prefix (and so the hash-op count is a
     // true geometric sample, as the analysis assumes).
     std::uint64_t counter = rng.next();
-    Bytes candidate(challenge.sol_len, 0);
+    SolutionValue candidate(challenge.sol_len, 0);
     for (;;) {
       // Candidate = counter in big-endian, repeated/truncated to sol_len.
       for (std::size_t b = 0; b < candidate.size(); ++b) {
@@ -156,11 +247,7 @@ Solution Sha256PuzzleEngine::solve(const Challenge& challenge,
             static_cast<std::uint8_t>(counter >> (8 * ((candidate.size() - 1 - b) % 8)));
       }
       ++hash_ops_out;
-      if (prefix_matches(
-              challenge.preimage,
-              solution_check_hash(challenge.preimage,
-                                  static_cast<std::uint8_t>(i), candidate),
-              challenge.diff.m)) {
+      if (checker.matches(candidate)) {
         sol.values.push_back(candidate);
         break;
       }
@@ -192,15 +279,14 @@ VerifyOutcome Sha256PuzzleEngine::verify(const FlowBinding& flow,
   }
 
   // One hash to re-derive the pre-image (statelessness: nothing was stored).
-  const Bytes preimage = derive_preimage(flow, solution.timestamp);
+  const Preimage preimage = derive_preimage(flow, solution.timestamp);
   out.hash_ops = 1;
 
+  SolutionChecker checker(preimage, diff.m);
   for (unsigned i = 1; i <= diff.k; ++i) {
     ++out.hash_ops;
-    if (!prefix_matches(preimage,
-                        solution_check_hash(preimage, static_cast<std::uint8_t>(i),
-                                            solution.values[i - 1]),
-                        diff.m)) {
+    checker.set_index(static_cast<std::uint8_t>(i));
+    if (!checker.matches(solution.values[i - 1])) {
       out.error = VerifyError::kBadSolution;
       return out;
     }
@@ -221,15 +307,13 @@ OraclePuzzleEngine::OraclePuzzleEngine(crypto::SecretKey secret,
   }
 }
 
-Bytes OraclePuzzleEngine::derive_preimage(const FlowBinding& flow,
-                                          std::uint32_t timestamp_ms) const {
-  const auto digest =
-      crypto::hmac_sha256(secret_.bytes(), preimage_message(flow, timestamp_ms));
-  return Bytes(digest.begin(), digest.begin() + cfg_.sol_len);
+Preimage OraclePuzzleEngine::derive_preimage(const FlowBinding& flow,
+                                             std::uint32_t timestamp_ms) const {
+  return derive_preimage_with(secret_.hmac(), flow, timestamp_ms, cfg_.sol_len);
 }
 
-Bytes OraclePuzzleEngine::oracle_solution(const Bytes& preimage,
-                                          std::uint8_t index) const {
+SolutionValue OraclePuzzleEngine::oracle_solution(
+    std::span<const std::uint8_t> preimage, std::uint8_t index) const {
   // Derived from the challenge pre-image alone, NOT the server secret:
   // solving must not require anything beyond the SYN-ACK bytes (a real
   // client brute-forces from the challenge), and in a fleet that rotates its
@@ -237,13 +321,14 @@ Bytes OraclePuzzleEngine::oracle_solution(const Bytes& preimage,
   // about epochs. Verification still binds solutions to the secret — and to
   // the minting epoch — because the verifier re-derives the pre-image from
   // its own secret and the echoed flow/timestamp.
-  Bytes msg;
-  msg.reserve(kOracleLabel.size() + preimage.size() + 1);
-  msg.insert(msg.end(), kOracleLabel.begin(), kOracleLabel.end());
-  msg.insert(msg.end(), preimage.begin(), preimage.end());
-  msg.push_back(index);
-  const auto digest = crypto::Sha256::hash(msg);
-  return Bytes(digest.begin(), digest.begin() + cfg_.sol_len);
+  std::uint8_t msg[64];  // label (21) + pre-image (<= 32) + index
+  std::memcpy(msg, kOracleLabel.data(), kOracleLabel.size());
+  std::memcpy(msg + kOracleLabel.size(), preimage.data(), preimage.size());
+  std::size_t n = kOracleLabel.size() + preimage.size();
+  msg[n++] = index;
+  const auto digest =
+      crypto::Sha256::hash(std::span<const std::uint8_t>(msg, n));
+  return SolutionValue(std::span<const std::uint8_t>(digest.data(), cfg_.sol_len));
 }
 
 Challenge OraclePuzzleEngine::make_challenge(const FlowBinding& flow,
@@ -286,19 +371,17 @@ VerifyOutcome OraclePuzzleEngine::verify(const FlowBinding& flow,
     out.error = VerifyError::kWrongCount;
     return out;
   }
-  const Bytes preimage = derive_preimage(flow, solution.timestamp);
+  const Preimage preimage = derive_preimage(flow, solution.timestamp);
   // Cost model mirrors the paper's d(p) = 1 + k/2: one pre-image derivation
   // plus prefix checks. We charge the full-verify cost 1 + k on success and
   // the early-exit position on failure, same as the real engine.
   out.hash_ops = 1;
   for (unsigned i = 1; i <= diff.k; ++i) {
     ++out.hash_ops;
-    const Bytes expected =
+    const SolutionValue expected =
         oracle_solution(preimage, static_cast<std::uint8_t>(i));
-    const Bytes& got = solution.values[i - 1];
-    if (got.size() != preimage.size() ||
-        !ct_equal(std::span<const std::uint8_t>(got),
-                  std::span<const std::uint8_t>(expected))) {
+    const SolutionValue& got = solution.values[i - 1];
+    if (got.size() != preimage.size() || !ct_equal(got, expected)) {
       out.error = got.size() == preimage.size() ? VerifyError::kBadSolution
                                                 : VerifyError::kWrongLength;
       return out;

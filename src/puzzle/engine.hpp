@@ -81,13 +81,13 @@ class Sha256PuzzleEngine final : public PuzzleEngine {
   [[nodiscard]] const EngineConfig& config() const override { return cfg_; }
 
   /// Exposed for the microbenchmarks: one solution-candidate check.
-  [[nodiscard]] static bool candidate_matches(const Challenge& challenge,
-                                              std::uint8_t index,
-                                              const Bytes& candidate);
+  [[nodiscard]] static bool candidate_matches(
+      const Challenge& challenge, std::uint8_t index,
+      std::span<const std::uint8_t> candidate);
 
  private:
-  [[nodiscard]] Bytes derive_preimage(const FlowBinding& flow,
-                                      std::uint32_t timestamp_ms) const;
+  [[nodiscard]] Preimage derive_preimage(const FlowBinding& flow,
+                                         std::uint32_t timestamp_ms) const;
 
   crypto::SecretKey secret_;
   EngineConfig cfg_;
@@ -111,10 +111,10 @@ class OraclePuzzleEngine final : public PuzzleEngine {
   [[nodiscard]] const EngineConfig& config() const override { return cfg_; }
 
  private:
-  [[nodiscard]] Bytes derive_preimage(const FlowBinding& flow,
-                                      std::uint32_t timestamp_ms) const;
-  [[nodiscard]] Bytes oracle_solution(const Bytes& preimage,
-                                      std::uint8_t index) const;
+  [[nodiscard]] Preimage derive_preimage(const FlowBinding& flow,
+                                         std::uint32_t timestamp_ms) const;
+  [[nodiscard]] SolutionValue oracle_solution(
+      std::span<const std::uint8_t> preimage, std::uint8_t index) const;
 
   crypto::SecretKey secret_;
   EngineConfig cfg_;

@@ -7,11 +7,28 @@
 #include <cmath>
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "util/bytes.hpp"
+#include "util/inline_bytes.hpp"
 
 namespace tcpz::puzzle {
+
+/// l is bounded by the engine (sol_len in [1, 32]); the pre-image and each
+/// solution value therefore fit a 32-byte inline buffer.
+inline constexpr std::size_t kMaxSolLen = 32;
+/// The k concatenated solution values must cross the wire inside the 40-byte
+/// TCP option space, so k·l <= 40 and (with l >= 1) k <= 40. The engines
+/// enforce k <= 40 at challenge creation (the representability bound of
+/// this vector); a k·l product beyond 40 is legal for engine-only use (the
+/// k=4, l=16 test grids) and throws std::length_error only if packed into a
+/// SolutionOption — where the seed's wire encoder threw too.
+inline constexpr std::size_t kMaxSolutionValues = 40;
+
+/// One s_i: sol_len bytes, inline. Copying a Solution (or a Segment carrying
+/// the wire form) never touches the heap.
+using SolutionValue = InlineBytes<kMaxSolLen>;
+/// The pre-image P: the first sol_len bytes of the keyed hash.
+using Preimage = InlineBytes<kMaxSolLen>;
 
 /// Puzzle difficulty (k, m): k solutions of m bits each.
 /// Expected client work is k * 2^(m-1) hash operations (§4.1).
@@ -61,7 +78,7 @@ struct Challenge {
   Difficulty diff;
   std::uint8_t sol_len = 8;  ///< l: bytes per solution and pre-image
   std::uint32_t timestamp = 0;
-  Bytes preimage;
+  Preimage preimage;
 
   bool operator==(const Challenge&) const = default;
 };
@@ -69,7 +86,7 @@ struct Challenge {
 /// A solution as produced by the client: k values of sol_len bytes, plus the
 /// echoed timestamp.
 struct Solution {
-  std::vector<Bytes> values;
+  InlineVec<SolutionValue, kMaxSolutionValues> values;
   std::uint32_t timestamp = 0;
 
   bool operator==(const Solution&) const = default;

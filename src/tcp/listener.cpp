@@ -1,5 +1,6 @@
 #include "tcp/listener.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
@@ -102,16 +103,20 @@ bool Listener::protection_active() const {
 std::uint32_t Listener::stateless_iss_with(const crypto::SecretKey& secret,
                                            const FlowKey& flow,
                                            std::uint32_t ts) {
-  Bytes msg;
-  msg.reserve(32);
-  const char label[] = "tcpz-iss-v1";
-  msg.insert(msg.end(), label, label + sizeof(label) - 1);
-  put_u32be(msg, flow.raddr);
-  put_u16be(msg, flow.rport);
-  put_u32be(msg, flow.laddr);
-  put_u16be(msg, flow.lport);
-  put_u32be(msg, ts);
-  const auto d = crypto::hmac_sha256(secret.bytes(), msg);
+  // Per-packet MAC: cached-midstate HMAC over a stack-assembled message —
+  // no key schedule, no heap.
+  constexpr char kLabel[] = "tcpz-iss-v1";
+  constexpr std::size_t kLabelLen = sizeof(kLabel) - 1;
+  std::uint8_t msg[kLabelLen + 16];
+  std::memcpy(msg, kLabel, kLabelLen);
+  std::uint8_t* p = msg + kLabelLen;
+  p = store_u32be(p, flow.raddr);
+  p = store_u16be(p, flow.rport);
+  p = store_u32be(p, flow.laddr);
+  p = store_u16be(p, flow.lport);
+  p = store_u32be(p, ts);
+  const auto d = secret.hmac().mac(
+      std::span<const std::uint8_t>(msg, static_cast<std::size_t>(p - msg)));
   return (static_cast<std::uint32_t>(d[0]) << 24) |
          (static_cast<std::uint32_t>(d[1]) << 16) |
          (static_cast<std::uint32_t>(d[2]) << 8) | d[3];

@@ -33,6 +33,28 @@ void append_solution(Bytes& out, const SolutionOption& s) {
 
 }  // namespace
 
+std::size_t Options::wire_size() const {
+  // Mirrors encode_options() exactly, without serializing: the link layer
+  // calls this for every transmitted segment to charge bandwidth, and the
+  // old encode-then-measure form heap-allocated a wire image per packet.
+  std::size_t n = 0;
+  if (mss) n += 4;
+  if (wscale) n += 3;
+  if (sack_permitted) n += 2;
+  if (ts) n += 10;
+  if (challenge) {
+    n += 2 + 3 + (challenge->embedded_ts ? 4 : 0) + challenge->preimage.size();
+  }
+  if (solution) {
+    n += 2 + 3 + (solution->embedded_ts ? 4 : 0) + solution->solutions.size();
+  }
+  n = (n + 3) & ~std::size_t{3};  // NOP padding to a 32-bit boundary
+  if (n > kMaxOptionsBytes) {
+    throw std::length_error("TCP options exceed 40 bytes");
+  }
+  return n;
+}
+
 Bytes encode_options(const Options& opts) {
   Bytes out;
   if (opts.mss) {
@@ -64,8 +86,6 @@ Bytes encode_options(const Options& opts) {
   }
   return out;
 }
-
-std::size_t Options::wire_size() const { return encode_options(*this).size(); }
 
 DecodeResult decode_options(std::span<const std::uint8_t> wire, Options& out) {
   out = Options{};
@@ -115,6 +135,9 @@ DecodeResult decode_options(std::span<const std::uint8_t> wire, Options& out) {
         c.k = body[0];
         c.m = body[1];
         c.sol_len = body[2];
+        // A declared pre-image longer than the engine bound cannot be a
+        // legal challenge; reject before the inline buffer would throw.
+        if (c.sol_len > kMaxPreimageBytes) return DecodeResult::kBadLength;
         std::size_t off = 3;
         const std::size_t rest = body.size() - off;
         if (rest == c.sol_len) {

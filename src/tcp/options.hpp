@@ -20,6 +20,7 @@
 #include <span>
 
 #include "util/bytes.hpp"
+#include "util/inline_bytes.hpp"
 
 namespace tcpz::tcp {
 
@@ -34,6 +35,15 @@ inline constexpr std::uint8_t kOptSolution = 0xfd;   ///< paper's unused opcode
 
 inline constexpr std::size_t kMaxOptionsBytes = 40;
 
+/// Inline capacities of the challenge/solution payloads. Both blocks must
+/// cross the wire inside the 40-byte option space (the pre-image is bounded
+/// by the engine's sol_len <= 32 on top of that), so the bytes live inline
+/// in the Segment: copying a packet — including into a link-delivery
+/// closure — never allocates. Oversized payloads throw std::length_error at
+/// construction, before they ever reach the wire codec.
+inline constexpr std::size_t kMaxPreimageBytes = 32;
+inline constexpr std::size_t kMaxSolutionBytes = 40;
+
 struct TimestampsOption {
   std::uint32_t tsval = 0;
   std::uint32_t tsecr = 0;
@@ -45,7 +55,7 @@ struct ChallengeOption {
   std::uint8_t m = 0;
   std::uint8_t sol_len = 0;  ///< l
   std::optional<std::uint32_t> embedded_ts;
-  Bytes preimage;  ///< l bytes
+  InlineBytes<kMaxPreimageBytes> preimage;  ///< l bytes, inline
   bool operator==(const ChallengeOption&) const = default;
 };
 
@@ -53,7 +63,7 @@ struct SolutionOption {
   std::uint16_t mss = 0;
   std::uint8_t wscale = 0;
   std::optional<std::uint32_t> embedded_ts;
-  Bytes solutions;  ///< k*l bytes, concatenated
+  InlineBytes<kMaxSolutionBytes> solutions;  ///< k*l bytes, concatenated
   bool operator==(const SolutionOption&) const = default;
 };
 
@@ -67,8 +77,11 @@ struct Options {
 
   bool operator==(const Options&) const = default;
 
-  /// Wire size after NOP padding to a 4-byte boundary. Throws if the encoded
-  /// form would exceed the 40-byte TCP limit (callers size l and k to fit).
+  /// Wire size after NOP padding to a 4-byte boundary, computed
+  /// arithmetically — the link layer charges it for every transmitted
+  /// segment, so it must not serialize (or allocate). Throws if the encoded
+  /// form would exceed the 40-byte TCP limit (callers size l and k to fit);
+  /// encode_options() produces exactly this many bytes.
   [[nodiscard]] std::size_t wire_size() const;
 };
 

@@ -1,5 +1,7 @@
 #include "tcp/syncookie.hpp"
 
+#include <cstring>
+
 #include "crypto/hmac.hpp"
 #include "util/bytes.hpp"
 
@@ -16,18 +18,21 @@ unsigned SynCookieCodec::mss_to_index(std::uint16_t mss) {
 std::uint32_t SynCookieCodec::mac24(const FlowKey& flow,
                                     std::uint32_t client_isn, std::uint32_t t,
                                     unsigned mss_idx) const {
-  Bytes msg;
-  msg.reserve(32);
-  const char label[] = "tcpz-syncookie-v1";
-  msg.insert(msg.end(), label, label + sizeof(label) - 1);
-  put_u32be(msg, flow.raddr);
-  put_u16be(msg, flow.rport);
-  put_u32be(msg, flow.laddr);
-  put_u16be(msg, flow.lport);
-  put_u32be(msg, client_isn);
-  put_u32be(msg, t);
-  msg.push_back(static_cast<std::uint8_t>(mss_idx));
-  const auto digest = crypto::hmac_sha256(secret_.bytes(), msg);
+  // Hot per-SYN/per-ACK path: cached-midstate HMAC over a stack buffer.
+  constexpr char kLabel[] = "tcpz-syncookie-v1";
+  constexpr std::size_t kLabelLen = sizeof(kLabel) - 1;
+  std::uint8_t msg[kLabelLen + 21];
+  std::memcpy(msg, kLabel, kLabelLen);
+  std::uint8_t* p = msg + kLabelLen;
+  p = store_u32be(p, flow.raddr);
+  p = store_u16be(p, flow.rport);
+  p = store_u32be(p, flow.laddr);
+  p = store_u16be(p, flow.lport);
+  p = store_u32be(p, client_isn);
+  p = store_u32be(p, t);
+  *p++ = static_cast<std::uint8_t>(mss_idx);
+  const auto digest = secret_.hmac().mac(
+      std::span<const std::uint8_t>(msg, static_cast<std::size_t>(p - msg)));
   return (static_cast<std::uint32_t>(digest[0]) << 16) |
          (static_cast<std::uint32_t>(digest[1]) << 8) |
          static_cast<std::uint32_t>(digest[2]);

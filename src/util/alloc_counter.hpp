@@ -1,0 +1,44 @@
+// Global operator-new replacement that counts every allocation in the
+// including binary. Used by the zero-allocation proofs — the alloc-guard
+// test and the crypto-ops bench — which assert that the segment copy and
+// link-delivery paths never touch the heap.
+//
+// Include from exactly ONE translation unit per binary (the replacement
+// functions are deliberately non-inline definitions); read the counter via
+// tcpz_alloc_count().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::uint64_t g_tcpz_alloc_count = 0;  // NOLINT
+}  // namespace
+
+/// Allocations observed in this binary since start.
+inline std::uint64_t tcpz_alloc_count() { return g_tcpz_alloc_count; }
+
+// GCC traces pointers from our malloc-backed replacement operator new into
+// the library's free() and reports a mismatched pair; new = malloc and
+// delete = free is in fact consistent — a known false positive with
+// replaced allocation functions.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  ++g_tcpz_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_tcpz_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

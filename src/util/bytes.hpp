@@ -16,6 +16,22 @@ void put_u16be(Bytes& out, std::uint16_t v);
 void put_u32be(Bytes& out, std::uint32_t v);
 void put_u64be(Bytes& out, std::uint64_t v);
 
+/// Raw-pointer big-endian stores for fixed stack buffers: the crypto hot
+/// paths (HMAC messages, cookie MACs) assemble their inputs without touching
+/// the heap. Each returns the advanced write pointer.
+inline std::uint8_t* store_u16be(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+  return p + 2;
+}
+inline std::uint8_t* store_u32be(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+  return p + 4;
+}
+
 /// Reads fail by returning false and leaving `v` untouched, so codecs can
 /// surface malformed input instead of crashing on truncated packets.
 bool get_u16be(std::span<const std::uint8_t> in, std::size_t off, std::uint16_t& v);

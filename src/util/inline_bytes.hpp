@@ -1,0 +1,187 @@
+// Fixed-capacity inline byte buffers for the packet hot path.
+//
+// The wire format caps every challenge/solution blob far below the 40-byte
+// TCP option space, yet the original types carried them in heap-backed
+// std::vectors — so every Segment copied into a link-delivery closure paid
+// one allocation per optional blob. InlineBytes/InlineVec store the bytes
+// in place: the types are trivially copyable, a Segment copy is a memcpy,
+// and capacity violations throw at *construction* (the earliest point the
+// oversized value exists), not at wire-encode time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <iterator>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace tcpz {
+
+/// Fixed-capacity byte string with a std::vector-like surface. Capacity N
+/// must fit the one-byte size field; exceeding it throws std::length_error.
+template <std::size_t N>
+class InlineBytes {
+  static_assert(N > 0 && N <= 255, "size is stored in one byte");
+
+ public:
+  using value_type = std::uint8_t;
+  using iterator = std::uint8_t*;
+  using const_iterator = const std::uint8_t*;
+
+  InlineBytes() = default;
+  InlineBytes(std::size_t count, std::uint8_t value) {
+    check_fits(count);
+    std::memset(buf_.data(), value, count);
+    size_ = static_cast<std::uint8_t>(count);
+  }
+  InlineBytes(std::initializer_list<std::uint8_t> init) {
+    assign(init.begin(), init.end());
+  }
+  // Implicit on purpose: spans and Bytes flow in from digests and codecs.
+  InlineBytes(std::span<const std::uint8_t> data) {  // NOLINT
+    assign(data.begin(), data.end());
+  }
+  InlineBytes(const std::vector<std::uint8_t>& data) {  // NOLINT
+    assign(data.begin(), data.end());
+  }
+  template <typename It>
+    requires(!std::is_integral_v<It>)
+  InlineBytes(It first, It last) {
+    assign(first, last);
+  }
+
+  [[nodiscard]] static constexpr std::size_t capacity() { return N; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] std::uint8_t* data() { return buf_.data(); }
+  [[nodiscard]] const std::uint8_t* data() const { return buf_.data(); }
+  [[nodiscard]] iterator begin() { return buf_.data(); }
+  [[nodiscard]] iterator end() { return buf_.data() + size_; }
+  [[nodiscard]] const_iterator begin() const { return buf_.data(); }
+  [[nodiscard]] const_iterator end() const { return buf_.data() + size_; }
+  std::uint8_t& operator[](std::size_t i) { return buf_[i]; }
+  const std::uint8_t& operator[](std::size_t i) const { return buf_[i]; }
+  [[nodiscard]] std::uint8_t& front() { return buf_[0]; }
+  [[nodiscard]] std::uint8_t& back() { return buf_[size_ - 1u]; }
+
+  void clear() { size_ = 0; }
+  void reserve(std::size_t n) const { check_fits(n); }
+  /// Grows zero-filled, like std::vector::resize.
+  void resize(std::size_t n) {
+    check_fits(n);
+    if (n > size_) std::memset(buf_.data() + size_, 0, n - size_);
+    size_ = static_cast<std::uint8_t>(n);
+  }
+  void push_back(std::uint8_t b) {
+    check_fits(size_ + 1u);
+    buf_[size_++] = b;
+  }
+  void pop_back() { --size_; }
+
+  template <typename It>
+  void assign(It first, It last) {
+    const auto n = static_cast<std::size_t>(std::distance(first, last));
+    check_fits(n);
+    std::copy(first, last, buf_.data());
+    size_ = static_cast<std::uint8_t>(n);
+  }
+
+  template <typename It>
+  void insert(const_iterator pos, It first, It last) {
+    const auto at = static_cast<std::size_t>(pos - buf_.data());
+    const auto n = static_cast<std::size_t>(std::distance(first, last));
+    check_fits(size_ + n);
+    std::memmove(buf_.data() + at + n, buf_.data() + at, size_ - at);
+    std::copy(first, last, buf_.data() + at);
+    size_ = static_cast<std::uint8_t>(size_ + n);
+  }
+
+  iterator erase(const_iterator first, const_iterator last) {
+    const auto at = static_cast<std::size_t>(first - buf_.data());
+    const auto n = static_cast<std::size_t>(last - first);
+    std::memmove(buf_.data() + at, buf_.data() + at + n, size_ - at - n);
+    size_ = static_cast<std::uint8_t>(size_ - n);
+    return buf_.data() + at;
+  }
+
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator std::span<const std::uint8_t>() const { return {buf_.data(), size_}; }
+
+  bool operator==(const InlineBytes& other) const {
+    return size_ == other.size_ &&
+           std::memcmp(buf_.data(), other.buf_.data(), size_) == 0;
+  }
+
+ private:
+  static void check_fits(std::size_t n) {
+    if (n > N) throw std::length_error("InlineBytes: capacity exceeded");
+  }
+
+  std::uint8_t size_ = 0;
+  std::array<std::uint8_t, N> buf_;  // bytes past size_ are indeterminate
+};
+
+/// Fixed-capacity vector of default-constructible, copyable elements (used
+/// for the k puzzle-solution values). Same overflow-throws contract.
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(N > 0 && N <= 255, "size is stored in one byte");
+
+ public:
+  using value_type = T;
+
+  InlineVec() = default;
+  InlineVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  [[nodiscard]] static constexpr std::size_t capacity() { return N; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] T* begin() { return items_.data(); }
+  [[nodiscard]] T* end() { return items_.data() + size_; }
+  [[nodiscard]] const T* begin() const { return items_.data(); }
+  [[nodiscard]] const T* end() const { return items_.data() + size_; }
+  T& operator[](std::size_t i) { return items_[i]; }
+  const T& operator[](std::size_t i) const { return items_[i]; }
+  [[nodiscard]] T& back() { return items_[size_ - 1u]; }
+
+  void clear() { size_ = 0; }
+  void reserve(std::size_t n) const {
+    if (n > N) throw std::length_error("InlineVec: capacity exceeded");
+  }
+  void push_back(const T& v) {
+    if (size_ >= N) throw std::length_error("InlineVec: capacity exceeded");
+    items_[size_++] = v;
+  }
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ >= N) throw std::length_error("InlineVec: capacity exceeded");
+    items_[size_] = T(std::forward<Args>(args)...);
+    return items_[size_++];
+  }
+  void pop_back() { --size_; }
+
+  bool operator==(const InlineVec& other) const {
+    if (size_ != other.size_) return false;
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (!(items_[i] == other.items_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::uint8_t size_ = 0;
+  // Default-initialized on purpose: value-init would zero-fill N*sizeof(T)
+  // bytes per construction (≈1.3 KiB for a Solution) on the per-ACK path.
+  // Elements at index >= size_ are never read.
+  std::array<T, N> items_;
+};
+
+}  // namespace tcpz

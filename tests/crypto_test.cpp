@@ -5,7 +5,9 @@
 #include "crypto/hmac.hpp"
 #include "crypto/secret.hpp"
 #include "crypto/sha256.hpp"
+#include "fleet/secret_directory.hpp"
 #include "util/bytes.hpp"
+#include "util/rng.hpp"
 
 namespace tcpz::crypto {
 namespace {
@@ -140,6 +142,16 @@ TEST(Hmac, Rfc4231Case3) {
             "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
 }
 
+TEST(Hmac, Rfc4231Case4) {
+  Bytes key(25);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i + 1);  // 0x01..0x19
+  }
+  const Bytes msg(50, 0xcd);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, msg)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
 TEST(Hmac, Rfc4231Case6LongKey) {
   const Bytes key(131, 0xaa);  // key longer than block: hashed first
   const auto mac = hmac_sha256(
@@ -148,9 +160,95 @@ TEST(Hmac, Rfc4231Case6LongKey) {
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
 }
 
+TEST(Hmac, Rfc4231Case7LongKeyLongData) {
+  const Bytes key(131, 0xaa);
+  const auto mac = hmac_sha256(
+      key,
+      "This is a test using a larger than block-size key and a larger than "
+      "block-size data. The key needs to be hashed before being used by the "
+      "HMAC algorithm.");
+  EXPECT_EQ(digest_hex(mac),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
 TEST(Hmac, KeySensitivity) {
   const Bytes k1(32, 0x01), k2(32, 0x02);
   EXPECT_NE(digest_hex(hmac_sha256(k1, "msg")), digest_hex(hmac_sha256(k2, "msg")));
+}
+
+// ---------------------------------------------------------------------------
+// HmacKey: the cached-midstate form must be bit-identical to the one-shot
+// reference for every key/message shape the stack can produce.
+// ---------------------------------------------------------------------------
+
+TEST(HmacKey, MatchesRfc4231Vectors) {
+  const Bytes key1(20, 0x0b);
+  EXPECT_EQ(digest_hex(HmacKey(key1).mac("Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  const Bytes key6(131, 0xaa);  // > 64 bytes: hashed into the pad block
+  EXPECT_EQ(digest_hex(HmacKey(key6).mac(
+                "Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacKey, EquivalentToOneShotForRandomKeyAndMessageLengths) {
+  Rng rng(20260726);
+  for (int iter = 0; iter < 500; ++iter) {
+    // Key lengths sweep across the block boundary (empty, < 64, == 64,
+    // > 64 => pre-hashed); messages across the padding boundaries.
+    const std::size_t key_len = rng.uniform_u64(150);
+    const std::size_t msg_len = rng.uniform_u64(300);
+    Bytes key(key_len);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+    Bytes msg(msg_len);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+    const HmacKey cached((std::span<const std::uint8_t>(key)));
+    ASSERT_EQ(digest_hex(cached.mac(msg)), digest_hex(hmac_sha256(key, msg)))
+        << "key_len=" << key_len << " msg_len=" << msg_len;
+  }
+}
+
+TEST(HmacKey, BoundaryMessageLengths) {
+  const Bytes key(32, 0x42);
+  const HmacKey cached((std::span<const std::uint8_t>(key)));
+  // 55/56/57 straddle the inner hash's length-field boundary (the inner
+  // message is 64 + n bytes), 63/64/65 the block boundary.
+  for (std::size_t n : {0u, 1u, 55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u}) {
+    const Bytes msg(n, 0x7e);
+    ASSERT_EQ(digest_hex(cached.mac(msg)), digest_hex(hmac_sha256(key, msg)))
+        << "msg_len=" << n;
+  }
+}
+
+TEST(HmacKey, SecretKeyCarriesItsMidstates) {
+  const SecretKey k = SecretKey::from_seed(99);
+  const Bytes msg = {1, 2, 3, 4, 5};
+  EXPECT_EQ(digest_hex(k.hmac().mac(msg)),
+            digest_hex(hmac_sha256(k.bytes(), msg)));
+  // The midstates follow the key: equal keys agree, different keys do not.
+  EXPECT_EQ(k.hmac(), SecretKey::from_seed(99).hmac());
+  EXPECT_NE(digest_hex(SecretKey::from_seed(100).hmac().mac(msg)),
+            digest_hex(k.hmac().mac(msg)));
+}
+
+TEST(HmacKey, ConsistentAcrossSecretDirectoryRotations) {
+  // Every rotation mints a fresh SecretKey; its cached midstates must track
+  // the new secret exactly (stale midstates would break cross-replica
+  // verification silently).
+  fleet::SecretDirectoryConfig cfg;
+  cfg.seed = 7;
+  fleet::SecretDirectory dir(cfg);
+  const Bytes msg = {0xde, 0xad, 0xbe, 0xef};
+  std::string prev_mac;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    const SecretKey& secret = dir.current_secret();
+    const std::string via_midstate = digest_hex(secret.hmac().mac(msg));
+    EXPECT_EQ(via_midstate, digest_hex(hmac_sha256(secret.bytes(), msg)))
+        << "epoch " << epoch;
+    EXPECT_NE(via_midstate, prev_mac) << "epoch " << epoch;
+    prev_mac = via_midstate;
+    dir.rotate();
+  }
 }
 
 // ---------------------------------------------------------------------------

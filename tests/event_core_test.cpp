@@ -121,6 +121,57 @@ TEST(EventCoreOrder, RunUntilBoundaryIsInclusive) {
 }
 
 // ---------------------------------------------------------------------------
+// Reuse after a draining run: the cursor must re-anchor so the simulator
+// keeps the wheel's O(1) scheduling/cancel tier instead of silently
+// degrading everything to the ordered heaps (the ROADMAP open item).
+// ---------------------------------------------------------------------------
+
+TEST(EventCoreReuse, ReanchorAfterDrainedRunRestoresWheelTier) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(SimTime::milliseconds(5), [&] { ++fired; });
+  sim.run();  // drains; pre-fix the cursor parked at the far future here
+  ASSERT_EQ(fired, 1);
+
+  // An in-horizon timer scheduled on the reused simulator must park in the
+  // wheel: cancelling it takes the O(1) unlink path, observable through the
+  // wheel-cancellation counter.
+  const std::uint64_t wheel_before = sim.events_cancelled_wheel();
+  TimerHandle h = sim.schedule_in(SimTime::milliseconds(10), [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_EQ(sim.events_cancelled_wheel(), wheel_before + 1);
+
+  // Firing still works and ordering is still exact after the re-anchor.
+  std::vector<int> order;
+  sim.schedule_in(SimTime::milliseconds(2), [&] { order.push_back(2); });
+  sim.schedule_in(SimTime::milliseconds(1), [&] { order.push_back(1); });
+  sim.schedule_in(SimTime::milliseconds(3), [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+
+  // A draining run_until() re-anchors too (the cursor walked to the bound).
+  sim.run_until(sim.now() + SimTime::seconds(5));
+  const std::uint64_t wheel_before2 = sim.events_cancelled_wheel();
+  TimerHandle h2 = sim.schedule_in(SimTime::milliseconds(3), [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(h2));
+  EXPECT_EQ(sim.events_cancelled_wheel(), wheel_before2 + 1);
+}
+
+TEST(EventCoreReuse, ReanchorIsANoopWhileEventsArePending) {
+  Simulator sim;
+  int fired = 0;
+  // run_until() with work left behind must NOT move the cursor backwards or
+  // drop anything: the far-future event still fires at its exact time.
+  sim.schedule_at(SimTime::seconds(10), [&] { ++fired; });
+  sim.run_until(SimTime::seconds(1));
+  EXPECT_EQ(fired, 0);
+  sim.schedule_in(SimTime::milliseconds(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime::seconds(10));
+}
+
+// ---------------------------------------------------------------------------
 // Cancellation.
 // ---------------------------------------------------------------------------
 
