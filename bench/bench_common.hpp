@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "scenario/spec.hpp"
 #include "sim/scenario.hpp"
 
 namespace benchutil {
@@ -132,7 +133,8 @@ inline int finish() {
   return g_failures == 0 ? 0 : 1;
 }
 
-/// The paper's §6 experiment configuration at either scale.
+/// The paper's §6 experiment configuration at either scale (legacy shim
+/// form, for benches that still drive sim::ScenarioConfig).
 inline tcpz::sim::ScenarioConfig paper_scenario(const Args& args) {
   tcpz::sim::ScenarioConfig cfg;
   cfg.seed = args.seed;
@@ -140,18 +142,32 @@ inline tcpz::sim::ScenarioConfig paper_scenario(const Args& args) {
   return cfg;
 }
 
-/// Seconds bins of the pre-attack window (with margin for warm-up/edges).
-inline std::size_t pre_lo(const tcpz::sim::ScenarioConfig& c) {
+/// The paper's §6 experiment as a declarative scenario::Spec at either
+/// scale. No attack groups yet — benches push their own.
+inline tcpz::scenario::Spec paper_spec(const Args& args) {
+  tcpz::scenario::Spec s;
+  s.seed = args.seed;
+  if (!args.full) s = s.scaled();
+  return s;
+}
+
+/// Seconds bins of the pre-attack window (with margin for warm-up/edges);
+/// works for both sim::ScenarioConfig and scenario::Spec.
+template <typename C>
+std::size_t pre_lo(const C& c) {
   return c.attack_start_bin() / 2;
 }
-inline std::size_t pre_hi(const tcpz::sim::ScenarioConfig& c) {
+template <typename C>
+std::size_t pre_hi(const C& c) {
   return c.attack_start_bin() - 2;
 }
 /// Bins of the steady part of the attack window.
-inline std::size_t atk_lo(const tcpz::sim::ScenarioConfig& c) {
+template <typename C>
+std::size_t atk_lo(const C& c) {
   return c.attack_start_bin() + (c.attack_end_bin() - c.attack_start_bin()) / 4;
 }
-inline std::size_t atk_hi(const tcpz::sim::ScenarioConfig& c) {
+template <typename C>
+std::size_t atk_hi(const C& c) {
   return c.attack_end_bin() - 1;
 }
 

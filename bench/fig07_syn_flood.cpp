@@ -5,6 +5,9 @@
 // Paper shape: no defence collapses to zero and needs ~30 s to recover;
 // cookies and easy puzzles hold throughput; Nash puzzles hold it at a
 // reduced level (clients pay solve time).
+//
+// Built on the declarative scenario engine: each case is a scenario::Spec
+// with a syn-flood attack group and the case's defense policy.
 #include "bench_common.hpp"
 
 using namespace tcpz;
@@ -21,7 +24,7 @@ struct Case {
 
 int main(int argc, char** argv) {
   const auto args = benchutil::parse(argc, argv);
-  const auto base = benchutil::paper_scenario(args);
+  const scenario::Spec base = benchutil::paper_spec(args);
 
   benchutil::header(
       "Figure 7: throughput during a SYN flood",
@@ -36,22 +39,24 @@ int main(int argc, char** argv) {
   };
 
   double pre[4], during[4], post_early[4];
-  sim::ScenarioResult results[4];
+  scenario::Result results[4];
   for (int i = 0; i < 4; ++i) {
-    sim::ScenarioConfig cfg = base;
-    cfg.attack = sim::AttackType::kSynFlood;
-    cfg.policy = cases[i].spec;
-    cfg.difficulty = cases[i].diff;
-    results[i] = sim::run_scenario(cfg);
+    scenario::Spec spec = base;
+    spec.servers.policies = {cases[i].spec};
+    spec.servers.difficulty = cases[i].diff;
+    scenario::AttackSpec atk;
+    atk.strategy = offense::StrategySpec::syn_flood();
+    spec.attacks = {atk};
+    results[i] = scenario::run(spec);
     benchutil::label((std::string("policy_") + cases[i].name).c_str(),
-                     results[i].server.policy);
-    pre[i] = results[i].client_rx_mbps(benchutil::pre_lo(cfg),
-                                       benchutil::pre_hi(cfg));
-    during[i] = results[i].client_rx_mbps(benchutil::atk_lo(cfg),
-                                          benchutil::atk_hi(cfg));
+                     results[i].server().policy);
+    pre[i] = results[i].client_rx_mbps(benchutil::pre_lo(spec),
+                                       benchutil::pre_hi(spec));
+    during[i] = results[i].client_rx_mbps(benchutil::atk_lo(spec),
+                                          benchutil::atk_hi(spec));
     // 10 s window right after the attack ends (recovery lag check).
-    post_early[i] = results[i].client_rx_mbps(cfg.attack_end_bin() + 2,
-                                              cfg.attack_end_bin() + 12);
+    post_early[i] = results[i].client_rx_mbps(spec.attack_end_bin() + 2,
+                                              spec.attack_end_bin() + 12);
   }
 
   const std::size_t bins = base.duration_bins();
@@ -61,7 +66,7 @@ int main(int argc, char** argv) {
   for (std::size_t t = 0; t + 10 <= bins; t += 10) {
     std::printf("%-8zu", t);
     for (int i = 0; i < 4; ++i) {
-      std::printf(" %16.1f", results[i].server.tx_mbps(t, t + 10));
+      std::printf(" %16.1f", results[i].server().tx_mbps(t, t + 10));
     }
     std::printf("\n");
   }
@@ -93,8 +98,8 @@ int main(int argc, char** argv) {
                    "against a SYN flood",
                    during[3] < during[2]);
   benchutil::check("spoofed flood never produces a valid solution",
-                   results[3].server.counters.solutions_valid ==
-                       results[3].server.counters.established_puzzle);
+                   results[3].server().counters.solutions_valid ==
+                       results[3].server().counters.established_puzzle);
 
   return benchutil::finish();
 }

@@ -11,7 +11,7 @@ using namespace tcpz;
 
 int main(int argc, char** argv) {
   const auto args = benchutil::parse(argc, argv);
-  const auto base = benchutil::paper_scenario(args);
+  const scenario::Spec base = benchutil::paper_spec(args);
 
   benchutil::header(
       "Figure 8: throughput during a connection flood",
@@ -27,21 +27,22 @@ int main(int argc, char** argv) {
       {"challenges-m17", defense::PolicySpec::puzzles()},
   };
 
-  sim::ScenarioResult results[3];
+  scenario::Result results[3];
   double pre[3], during[3];
   for (int i = 0; i < 3; ++i) {
-    sim::ScenarioConfig cfg = base;
-    cfg.attack = sim::AttackType::kConnFlood;
-    cfg.bots_solve = false;  // raw nping flood bypasses the bot kernel solver
-    cfg.policy = cases[i].spec;
-    cfg.difficulty = {2, 17};
-    results[i] = sim::run_scenario(cfg);
+    scenario::Spec spec = base;
+    spec.servers.policies = {cases[i].spec};
+    scenario::AttackSpec atk;
+    // Raw nping flood: a legacy stack that plain-ACKs challenges.
+    atk.strategy = offense::StrategySpec::conn_flood(/*patched=*/false);
+    spec.attacks = {atk};
+    results[i] = scenario::run(spec);
     benchutil::label((std::string("policy_") + cases[i].name).c_str(),
-                     results[i].server.policy);
-    pre[i] = results[i].client_rx_mbps(benchutil::pre_lo(cfg),
-                                       benchutil::pre_hi(cfg));
-    during[i] = results[i].client_rx_mbps(benchutil::atk_lo(cfg),
-                                          benchutil::atk_hi(cfg));
+                     results[i].server().policy);
+    pre[i] = results[i].client_rx_mbps(benchutil::pre_lo(spec),
+                                       benchutil::pre_hi(spec));
+    during[i] = results[i].client_rx_mbps(benchutil::atk_lo(spec),
+                                          benchutil::atk_hi(spec));
   }
 
   const std::size_t bins = base.duration_bins();
@@ -51,11 +52,11 @@ int main(int argc, char** argv) {
   for (std::size_t t = 0; t + 10 <= bins; t += 10) {
     std::printf("%-8zu", t);
     for (auto& result : results) {
-      std::printf(" %16.1f", result.server.tx_mbps(t, t + 10));
+      std::printf(" %16.1f", result.server().tx_mbps(t, t + 10));
     }
     const double chal =
-        results[2].server.challenge_synacks.mean_rate(t, t + 10);
-    const double plain = results[2].server.plain_synacks.mean_rate(t, t + 10);
+        results[2].server().challenge_synacks.mean_rate(t, t + 10);
+    const double plain = results[2].server().plain_synacks.mean_rate(t, t + 10);
     std::printf("   %7.0f/%-7.0f\n", chal, plain);
   }
   std::printf("(attack window: %zu-%zu s)\n", base.attack_start_bin(),
@@ -82,7 +83,7 @@ int main(int argc, char** argv) {
   benchutil::check("puzzles beat cookies by more than 2x during the flood",
                    during[2] > during[1] * 2.0);
 
-  const auto& srv = results[2].server;
+  const auto& srv = results[2].server();
   benchutil::check("challenges dominate SYN-ACKs during the attack",
                    srv.challenge_synacks.mean_rate(benchutil::atk_lo(base),
                                                    benchutil::atk_hi(base)) >

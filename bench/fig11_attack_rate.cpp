@@ -9,39 +9,52 @@
 
 using namespace tcpz;
 
+namespace {
+
+/// The §6 botnet (10 Xeon-class bots at 500 pps) under the given policy.
+tcpz::scenario::AttackSpec botnet(bool bots_solve) {
+  tcpz::scenario::AttackSpec atk;
+  atk.strategy = offense::StrategySpec::conn_flood(bots_solve);
+  return atk;
+}
+
+tcpz::scenario::Spec flood_spec(const tcpz::scenario::Spec& base,
+                                defense::PolicySpec policy,
+                                const tcpz::scenario::AttackSpec& atk) {
+  tcpz::scenario::Spec s = base;
+  s.servers.policies = {policy};
+  s.attacks = {atk};
+  return s;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto args = benchutil::parse(argc, argv);
-  const auto base = benchutil::paper_scenario(args);
+  const scenario::Spec base = benchutil::paper_spec(args);
 
   benchutil::header(
       "Figure 11: effective attacker established-connection rate",
       "cookies: hundreds of cps; challenges: a few cps (factor ~37 less)");
 
-  sim::ScenarioConfig chal = base;
-  chal.attack = sim::AttackType::kConnFlood;
-  chal.bots_solve = false;  // raw nping flood bypasses the bot kernel solver
-  chal.defense = tcp::DefenseMode::kPuzzles;
-  chal.difficulty = {2, 17};
-  const auto with_chal = sim::run_scenario(chal);
-
-  sim::ScenarioConfig cook = base;
-  cook.attack = sim::AttackType::kConnFlood;
-  cook.bots_solve = false;
-  cook.defense = tcp::DefenseMode::kSynCookies;
-  const auto with_cook = sim::run_scenario(cook);
+  // Raw nping floods (bots_solve = false) bypass the bot kernel solver.
+  const auto with_chal = scenario::run(
+      flood_spec(base, defense::PolicySpec::puzzles(), botnet(false)));
+  const auto with_cook = scenario::run(
+      flood_spec(base, defense::PolicySpec::syn_cookies(), botnet(false)));
 
   std::printf("attacker established connections per second, 10 s bins:\n");
   std::printf("%-8s %18s %18s\n", "t(s)", "with challenges", "with cookies");
   for (std::size_t t = base.attack_start_bin(); t < base.attack_end_bin();
        t += 10) {
     std::printf("%-8zu %18.1f %18.1f\n", t,
-                with_chal.server.attacker_cps(t, t + 10),
-                with_cook.server.attacker_cps(t, t + 10));
+                with_chal.server().attacker_cps(t, t + 10),
+                with_cook.server().attacker_cps(t, t + 10));
   }
 
   const std::size_t a = benchutil::atk_lo(base), b = benchutil::atk_hi(base);
-  const double chal_cps = with_chal.server.attacker_cps(a, b);
-  const double cook_cps = with_cook.server.attacker_cps(a, b);
+  const double chal_cps = with_chal.server().attacker_cps(a, b);
+  const double cook_cps = with_cook.server().attacker_cps(a, b);
   std::printf("\nattack-window averages: challenges %.1f cps, cookies %.1f "
               "cps, reduction factor %.1f\n",
               chal_cps, cook_cps, cook_cps / std::max(chal_cps, 1e-9));
@@ -54,20 +67,23 @@ int main(int argc, char** argv) {
                    cook_cps > 10.0 * std::max(chal_cps, 1e-9));
 
   // For comparison, a botnet that DOES solve (Experiment 5's SA case) is
-  // bounded by its serial solver throughput per bot.
-  sim::ScenarioConfig solving = chal;
-  solving.bots_solve = true;
-  const auto with_solving = sim::run_scenario(solving);
-  const double solving_cps = with_solving.server.attacker_cps(a, b);
+  // bounded by its serial solver throughput per bot. The bound is computed
+  // from the same AttackSpec the run uses, so retuning the botnet retunes
+  // the check.
+  const scenario::AttackSpec solving_botnet = botnet(true);
+  const auto with_solving = scenario::run(
+      flood_spec(base, defense::PolicySpec::puzzles(), solving_botnet));
+  const double solving_cps = with_solving.server().attacker_cps(a, b);
+  const int n_bots = solving_botnet.count;
   const double per_bot_bound =
-      base.bot_cpu.hash_rate * base.bot_cpu.solver_lanes /
+      solving_botnet.cpu.hash_rate * solving_botnet.cpu.solver_lanes /
       puzzle::Difficulty{2, 17}.expected_solve_hashes();
   std::printf("\nsolving botnet (SA): %.1f cps total; per-bot %.2f vs solver "
               "bound %.2f cps\n",
-              solving_cps, solving_cps / base.n_bots, per_bot_bound);
+              solving_cps, solving_cps / n_bots, per_bot_bound);
   benchutil::check("a solving botnet is bounded by its solver throughput "
                    "(within 2x, openings included)",
-                   solving_cps / base.n_bots < per_bot_bound * 2.0);
+                   solving_cps / n_bots < per_bot_bound * 2.0);
   benchutil::check("even a solving botnet stays 5x below the cookie rate",
                    cook_cps > 5.0 * solving_cps);
 

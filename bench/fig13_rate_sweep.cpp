@@ -11,16 +11,14 @@ using namespace tcpz;
 
 int main(int argc, char** argv) {
   const auto args = benchutil::parse(argc, argv);
-  auto base = benchutil::paper_scenario(args);
+  scenario::Spec base = benchutil::paper_spec(args);
   if (!args.full) {
     base.duration = SimTime::seconds(90);
     base.attack_start = SimTime::seconds(20);
     base.attack_end = SimTime::seconds(70);
   }
-  base.attack = sim::AttackType::kConnFlood;
-  base.defense = tcp::DefenseMode::kPuzzles;
-  base.difficulty = {2, 17};
-  base.n_bots = 5;
+  base.servers.policies = {defense::PolicySpec::puzzles()};
+  const int n_bots = 5;
 
   benchutil::header(
       "Figure 13: effect of the per-node attack rate (5 bots)",
@@ -31,24 +29,28 @@ int main(int argc, char** argv) {
               "measured (pps)", "completed (cps)");
   std::vector<double> completed, measured;
   for (const double rate : {100.0, 200.0, 400.0, 600.0, 800.0, 1000.0}) {
-    sim::ScenarioConfig cfg = base;
-    cfg.seed = args.seed + static_cast<std::uint64_t>(rate);
-    cfg.bot_rate = rate;
-    const auto res = sim::run_scenario(cfg);
-    const std::size_t a = benchutil::atk_lo(cfg), b = benchutil::atk_hi(cfg);
+    scenario::Spec spec = base;
+    spec.seed = args.seed + static_cast<std::uint64_t>(rate);
+    scenario::AttackSpec atk;
+    atk.count = n_bots;
+    atk.rate = rate;
+    atk.strategy = offense::StrategySpec::conn_flood();
+    spec.attacks = {atk};
+    const auto res = scenario::run(spec);
+    const std::size_t a = benchutil::atk_lo(spec), b = benchutil::atk_hi(spec);
     const double meas = res.bot_measured_rate(a, b);
-    const double comp = res.server.attacker_cps(a, b);
+    const double comp = res.server().attacker_cps(a, b);
     measured.push_back(meas);
     completed.push_back(comp);
-    std::printf("%-18.0f %16.0f %18.1f %18.2f\n", rate,
-                rate * cfg.n_bots, meas, comp);
+    std::printf("%-18.0f %16.0f %18.1f %18.2f\n", rate, rate * n_bots, meas,
+                comp);
   }
 
   benchutil::check("measured attack rate grows with the per-node rate",
                    measured.back() > measured.front());
   benchutil::check("measured rate saturates below 60% of attempted at the "
                    "highest setting",
-                   measured.back() < 0.6 * 1000.0 * base.n_bots);
+                   measured.back() < 0.6 * 1000.0 * n_bots);
   benchutil::check("completion rate is flat: max/min <= 3 across the sweep",
                    [&] {
                      double lo = 1e18, hi = 0;

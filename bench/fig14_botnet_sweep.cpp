@@ -13,15 +13,13 @@ using namespace tcpz;
 
 int main(int argc, char** argv) {
   const auto args = benchutil::parse(argc, argv);
-  auto base = benchutil::paper_scenario(args);
+  scenario::Spec base = benchutil::paper_spec(args);
   if (!args.full) {
     base.duration = SimTime::seconds(90);
     base.attack_start = SimTime::seconds(20);
     base.attack_end = SimTime::seconds(70);
   }
-  base.attack = sim::AttackType::kConnFlood;
-  base.defense = tcp::DefenseMode::kPuzzles;
-  base.difficulty = {2, 17};
+  base.servers.policies = {defense::PolicySpec::puzzles()};
 
   benchutil::header(
       "Figure 14: effect of the botnet size (total 5000 pps)",
@@ -34,14 +32,17 @@ int main(int argc, char** argv) {
   std::vector<int> sizes = {2, 4, 6, 8, 10, 12, 14};
   std::vector<double> completed, measured;
   for (const int n : sizes) {
-    sim::ScenarioConfig cfg = base;
-    cfg.seed = args.seed + static_cast<std::uint64_t>(n);
-    cfg.n_bots = n;
-    cfg.bot_rate = total_rate / n;
-    const auto res = sim::run_scenario(cfg);
-    const std::size_t a = benchutil::atk_lo(cfg), b = benchutil::atk_hi(cfg);
+    scenario::Spec spec = base;
+    spec.seed = args.seed + static_cast<std::uint64_t>(n);
+    scenario::AttackSpec atk;
+    atk.count = n;
+    atk.rate = total_rate / n;
+    atk.strategy = offense::StrategySpec::conn_flood();
+    spec.attacks = {atk};
+    const auto res = scenario::run(spec);
+    const std::size_t a = benchutil::atk_lo(spec), b = benchutil::atk_hi(spec);
     const double meas = res.bot_measured_rate(a, b);
-    const double comp = res.server.attacker_cps(a, b);
+    const double comp = res.server().attacker_cps(a, b);
     measured.push_back(meas);
     completed.push_back(comp);
     std::printf("%-10d %16.0f %18.1f %18.2f %14.0f\n", n, total_rate / n, meas,

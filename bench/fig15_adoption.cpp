@@ -19,32 +19,12 @@ struct Case {
   bool clients_solve;
 };
 
-double established_pct(const sim::ScenarioResult& res,
-                       const sim::ScenarioConfig& cfg) {
-  // Percentage of attack-window wire attempts that completed a request. The
-  // paper's clients are closed-loop, so attempts the local solver refused
-  // before any packet was sent do not enter the denominator.
-  double attempts = 0, completions = 0, refused = 0;
-  for (const auto& c : res.clients) {
-    for (std::size_t t = benchutil::atk_lo(cfg); t < benchutil::atk_hi(cfg);
-         ++t) {
-      attempts += c.attempts.total(t);
-      completions += c.completions.total(t);
-      refused += c.refusals.total(t);
-    }
-  }
-  const double wire = attempts - refused;
-  return wire > 0 ? 100.0 * completions / wire : 0.0;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = benchutil::parse(argc, argv);
-  auto base = benchutil::paper_scenario(args);
-  base.attack = sim::AttackType::kConnFlood;
-  base.defense = tcp::DefenseMode::kPuzzles;
-  base.difficulty = {2, 17};
+  scenario::Spec base = benchutil::paper_spec(args);
+  base.servers.policies = {defense::PolicySpec::puzzles()};
 
   benchutil::header(
       "Figure 15: adoption scenarios (percentage of established connections)",
@@ -60,12 +40,18 @@ int main(int argc, char** argv) {
 
   double pct[4];
   for (int i = 0; i < 4; ++i) {
-    sim::ScenarioConfig cfg = base;
-    cfg.seed = args.seed + static_cast<std::uint64_t>(i);
-    cfg.bots_solve = cases[i].bots_solve;
-    cfg.clients_solve = cases[i].clients_solve;
-    const auto res = sim::run_scenario(cfg);
-    pct[i] = established_pct(res, cfg);
+    scenario::Spec spec = base;
+    spec.seed = args.seed + static_cast<std::uint64_t>(i);
+    spec.workload.solve_puzzles = cases[i].clients_solve;
+    scenario::AttackSpec atk;
+    atk.strategy = offense::StrategySpec::conn_flood(cases[i].bots_solve);
+    spec.attacks = {atk};
+    const auto res = scenario::run(spec);
+    // Percentage of attack-window wire attempts that completed a request;
+    // solver-refused attempts never reach the wire and are excluded, as in
+    // the paper's closed-loop measurement.
+    pct[i] = res.client_wire_success_pct(benchutil::atk_lo(spec),
+                                         benchutil::atk_hi(spec));
     std::printf("%-55s %6.1f%%\n", cases[i].name, pct[i]);
   }
   const double sc_min = std::min(pct[2], pct[3]);

@@ -1,6 +1,6 @@
 // Fleet scenario bench: the §6 connection-flood workload against a
 // load-balanced fleet of puzzle-protected replicas sharing one rotating
-// secret (src/fleet).
+// secret, driven through the declarative scenario engine (src/scenario).
 //
 // Three scenarios:
 //  A. fully protected fleet (4 replicas, 5-tuple hash): clients keep being
@@ -14,39 +14,38 @@
 //     rotation are honored during the overlap window.
 #include "bench_common.hpp"
 
-#include "fleet/scenario.hpp"
-
 using namespace tcpz;
 
 namespace {
 
-fleet::FleetScenarioConfig fleet_base(const benchutil::Args& args) {
-  fleet::FleetScenarioConfig f;
-  f.base = benchutil::paper_scenario(args);
-  f.base.attack = sim::AttackType::kConnFlood;
-  f.base.bots_solve = false;  // raw nping flood, as in the Fig. 8 scenario
-  f.base.policy = defense::PolicySpec::puzzles();
-  f.base.difficulty = {2, 17};
-  f.n_replicas = 4;
+scenario::Spec fleet_base(const benchutil::Args& args) {
+  scenario::Spec s = benchutil::paper_spec(args);
+  scenario::AttackSpec atk;
+  // Raw nping flood, as in the Fig. 8 scenario (legacy stack, plain ACKs).
+  atk.strategy = offense::StrategySpec::conn_flood(/*patched=*/false);
+  s.attacks = {atk};
+  s.servers.count = 4;
+  s.servers.policies = {defense::PolicySpec::puzzles()};
+  s.fleet.enabled = true;
   // Scale-out: each replica is a full §6 server; the fleet quadruples
   // capacity instead of sharding one server.
-  f.divide_capacity = false;
-  return f;
+  s.fleet.divide_capacity = false;
+  return s;
 }
 
-void print_replicas(const char* tag, const fleet::FleetResult& r,
+void print_replicas(const char* tag, const scenario::Result& r,
                     std::size_t lo, std::size_t hi) {
   std::printf("\n%s — per-replica picture (attack window %zu-%zu s):\n", tag,
               lo, hi);
   std::printf("%-9s %10s %12s %12s %12s %12s\n", "replica", "estab",
               "est-puzzle", "challenges", "atk-cps", "lb-pkts");
-  for (std::size_t i = 0; i < r.replicas.size(); ++i) {
-    const auto& c = r.replicas[i].counters;
+  for (std::size_t i = 0; i < r.servers.size(); ++i) {
+    const auto& c = r.servers[i].counters;
     std::printf("%-9zu %10llu %12llu %12llu %12.2f %12llu\n", i,
                 static_cast<unsigned long long>(c.established_total),
                 static_cast<unsigned long long>(c.established_puzzle),
                 static_cast<unsigned long long>(c.challenges_sent),
-                r.replica_attacker_cps(i, lo, hi),
+                r.server_attacker_cps(i, lo, hi),
                 static_cast<unsigned long long>(
                     r.lb.backends[i].dispatched_packets));
   }
@@ -63,16 +62,17 @@ int main(int argc, char** argv) {
       "flood from any replica; one legacy replica is the hole the flood "
       "pours through; failover and secret rotation are client-transparent");
 
-  const fleet::FleetScenarioConfig base = fleet_base(args);
-  const std::size_t lo = benchutil::atk_lo(base.base);
-  const std::size_t hi = benchutil::atk_hi(base.base);
+  const scenario::Spec base = fleet_base(args);
+  const std::size_t lo = benchutil::atk_lo(base);
+  const std::size_t hi = benchutil::atk_hi(base);
 
   // -- A: fully protected fleet ---------------------------------------------
-  fleet::FleetScenarioConfig cfg_a = base;
-  cfg_a.policy = fleet::BalancePolicy::kFiveTupleHash;
-  const fleet::FleetResult a = fleet::run_fleet_scenario(cfg_a);
+  scenario::Spec cfg_a = base;
+  cfg_a.fleet.balance = fleet::BalancePolicy::kFiveTupleHash;
+  const scenario::Result a = scenario::run(cfg_a);
   print_replicas("A: all replicas protected", a, lo, hi);
-  benchutil::label("protected_fleet_policy", a.replicas[0].policy);
+  benchutil::label("protected_fleet_policy", a.servers[0].policy);
+  benchutil::label("attack_strategy", a.groups[0].name);
 
   const double a_success = benchutil::metric(
       "protected_fleet_client_success_pct", a.client_wire_success_pct(lo, hi));
@@ -83,16 +83,16 @@ int main(int argc, char** argv) {
   benchutil::metric("protected_fleet_wall_seconds", a.wall_seconds);
 
   // -- B: partial adoption --------------------------------------------------
-  fleet::FleetScenarioConfig cfg_b = base;
-  cfg_b.policy = fleet::BalancePolicy::kFiveTupleHash;
-  cfg_b.replica_policies = {
+  scenario::Spec cfg_b = base;
+  cfg_b.fleet.balance = fleet::BalancePolicy::kFiveTupleHash;
+  cfg_b.servers.policies = {
       defense::PolicySpec::none(), defense::PolicySpec::puzzles(),
       defense::PolicySpec::puzzles(), defense::PolicySpec::puzzles()};
-  const fleet::FleetResult b = fleet::run_fleet_scenario(cfg_b);
+  const scenario::Result b = scenario::run(cfg_b);
   print_replicas("B: replica 0 unprotected", b, lo, hi);
-  for (std::size_t i = 0; i < b.replicas.size(); ++i) {
+  for (std::size_t i = 0; i < b.servers.size(); ++i) {
     benchutil::label(("partial_replica" + std::to_string(i) + "_policy").c_str(),
-                     b.replicas[i].policy);
+                     b.servers[i].policy);
   }
 
   // The legacy replica admits the flood until its listen queue has silted up
@@ -101,11 +101,11 @@ int main(int argc, char** argv) {
   // shape checks (atk_lo..atk_hi) covers it. The protected replicas have
   // latched by then and their leakage over the same window is ~0.
   const double b_leak_unprotected = benchutil::metric(
-      "partial_unprotected_replica_atk_cps", b.replica_attacker_cps(0, lo, hi));
+      "partial_unprotected_replica_atk_cps", b.server_attacker_cps(0, lo, hi));
   double b_leak_protected_max = 0;
   for (std::size_t i = 1; i < 4; ++i) {
     b_leak_protected_max =
-        std::max(b_leak_protected_max, b.replica_attacker_cps(i, lo, hi));
+        std::max(b_leak_protected_max, b.server_attacker_cps(i, lo, hi));
   }
   benchutil::metric("partial_protected_replica_atk_cps_max",
                     b_leak_protected_max);
@@ -113,15 +113,15 @@ int main(int argc, char** argv) {
       "partial_fleet_client_success_pct", b.client_wire_success_pct(lo, hi));
 
   // -- C: failover + secret rotation mid-attack -----------------------------
-  fleet::FleetScenarioConfig cfg_c = base;
-  cfg_c.policy = fleet::BalancePolicy::kRoundRobin;
-  cfg_c.rotation_interval = SimTime::seconds(25);
-  cfg_c.rotation_overlap = SimTime::seconds(8);
+  scenario::Spec cfg_c = base;
+  cfg_c.fleet.balance = fleet::BalancePolicy::kRoundRobin;
+  cfg_c.fleet.rotation_interval = SimTime::seconds(25);
+  cfg_c.fleet.rotation_overlap = SimTime::seconds(8);
   const SimTime mid = SimTime::nanoseconds(
-      (cfg_c.base.attack_start.nanos() + cfg_c.base.attack_end.nanos()) / 2);
+      (cfg_c.attack_start.nanos() + cfg_c.attack_end.nanos()) / 2);
   cfg_c.events = {{mid, 1, false},
                   {mid + SimTime::seconds(15), 1, true}};
-  const fleet::FleetResult c = fleet::run_fleet_scenario(cfg_c);
+  const scenario::Result c = scenario::run(cfg_c);
   print_replicas("C: failover + rotation", c, lo, hi);
 
   const double c_success = benchutil::metric(
@@ -142,7 +142,7 @@ int main(int argc, char** argv) {
   benchutil::check("A: every replica established puzzle connections "
                    "(cross-replica stateless verification)",
                    [&] {
-                     for (const auto& rep : a.replicas) {
+                     for (const auto& rep : a.servers) {
                        if (rep.counters.established_puzzle == 0) return false;
                      }
                      return true;

@@ -25,67 +25,48 @@ int main(int argc, char** argv) {
       "puzzles hold client success at scale; attacker rate is pinned by "
       "solver throughput (Figs. 13-14 at 12x the paper's botnet)");
 
-  sim::ScenarioConfig cfg = benchutil::paper_scenario(args);
-  cfg.n_bots = smoke ? 40 : 120;
-  cfg.policy = defense::PolicySpec::puzzles();
-  cfg.attack = sim::AttackType::kConnFlood;
-  cfg.bots_solve = true;
+  scenario::Spec spec = benchutil::paper_spec(args);
+  spec.servers.policies = {defense::PolicySpec::puzzles()};
+  scenario::AttackSpec atk;
+  atk.count = smoke ? 40 : 120;
+  atk.strategy = offense::StrategySpec::conn_flood(/*patched=*/true);
+  spec.attacks = {atk};
   // Production-scale server (the ROADMAP's target class, 8x the paper's
   // testbed): at the Nash difficulty a 120-bot patched botnet still gets its
   // combined ~200 solved connections/s admitted — that is the theory's
   // guarantee, admission pinned to solver throughput — so the worker pool
   // must out-drain it (8192 workers / 5 s idle reap >> 200/s) for
   // legitimate clients to ride through.
-  cfg.n_workers = 8192;
-  cfg.service_rate = 8800.0;
-  cfg.listen_backlog = 16'384;
-  cfg.accept_backlog = 4096;
+  spec.servers.n_workers = 8192;
+  spec.servers.service_rate = 8800.0;
+  spec.servers.listen_backlog = 16'384;
+  spec.servers.accept_backlog = 4096;
   if (smoke) {
-    cfg.duration = SimTime::seconds(40);
-    cfg.attack_start = SimTime::seconds(10);
-    cfg.attack_end = SimTime::seconds(35);
+    spec.duration = SimTime::seconds(40);
+    spec.attack_start = SimTime::seconds(10);
+    spec.attack_end = SimTime::seconds(35);
   }
 
-  const sim::ScenarioResult r = sim::run_scenario(cfg);
+  const scenario::Result r = scenario::run(spec);
 
   const double events = static_cast<double>(r.events_processed);
   const double events_per_sec = events / r.wall_seconds;
-  const std::size_t atk_lo = benchutil::atk_lo(cfg);
-  const std::size_t atk_hi = benchutil::atk_hi(cfg);
-  const std::size_t pre_lo = benchutil::pre_lo(cfg);
-  const std::size_t pre_hi = benchutil::pre_hi(cfg);
+  const std::size_t atk_lo = benchutil::atk_lo(spec);
+  const std::size_t atk_hi = benchutil::atk_hi(spec);
+  const std::size_t pre_lo = benchutil::pre_lo(spec);
+  const std::size_t pre_hi = benchutil::pre_hi(spec);
 
-  // Client success inside the protected steady state of the attack.
-  double attempts = 0, completions = 0, refused = 0;
-  for (const auto& c : r.clients) {
-    for (std::size_t t = atk_lo; t < atk_hi; ++t) {
-      attempts += c.attempts.total(t);
-      completions += c.completions.total(t);
-      refused += c.refusals.total(t);
-    }
-  }
-  const double wire = attempts - refused;
-  const double success_pct =
-      wire > 0 ? std::min(100.0, 100.0 * completions / wire) : 0.0;
-
+  // Client success inside the protected steady state of the attack
+  // (solver-refused attempts never reach the wire and are excluded).
+  const double success_pct = r.client_wire_success_pct(atk_lo, atk_hi);
   // Aggregate attacker establishment rate during the same window.
-  const double attacker_cps =
-      r.server.established_attacker.mean_rate(atk_lo, atk_hi);
+  const double attacker_cps = r.server_attacker_cps(0, atk_lo, atk_hi);
   const double bot_attempt_rate = r.bot_measured_rate(atk_lo, atk_hi);
-  const double pre_success = [&] {
-    double a = 0, comp = 0;
-    for (const auto& c : r.clients) {
-      for (std::size_t t = pre_lo; t < pre_hi; ++t) {
-        a += c.attempts.total(t);
-        comp += c.completions.total(t);
-      }
-    }
-    return a > 0 ? 100.0 * comp / a : 0.0;
-  }();
+  const double pre_success = r.client_success_pct(pre_lo, pre_hi);
 
-  std::printf("bots=%d duration=%s wall=%.1fs\n", cfg.n_bots,
-              cfg.duration.to_string().c_str(), r.wall_seconds);
-  benchutil::metric("bots", cfg.n_bots);
+  std::printf("bots=%d duration=%s wall=%.1fs\n", atk.count,
+              spec.duration.to_string().c_str(), r.wall_seconds);
+  benchutil::metric("bots", atk.count);
   benchutil::metric("events_processed", events);
   benchutil::metric("events_per_sec_wall", events_per_sec);
   benchutil::metric("client_success_attack_pct", success_pct);
@@ -93,14 +74,16 @@ int main(int argc, char** argv) {
   benchutil::metric("attacker_established_per_sec", attacker_cps);
   benchutil::metric("bot_measured_attempt_rate", bot_attempt_rate);
   benchutil::metric("challenges_sent",
-                    static_cast<double>(r.server.counters.challenges_sent));
+                    static_cast<double>(r.server().counters.challenges_sent));
   benchutil::metric("solutions_valid",
-                    static_cast<double>(r.server.counters.solutions_valid));
+                    static_cast<double>(r.server().counters.solutions_valid));
+  benchutil::label("strategy", r.groups[0].name);
+  benchutil::label("policy", r.server().policy);
 
   benchutil::check("scenario processed >= 1e6 events",
                    r.events_processed >= 1'000'000u);
   benchutil::check("flood was challenged (>= 100k challenges)",
-                   r.server.counters.challenges_sent >= 100'000u);
+                   r.server().counters.challenges_sent >= 100'000u);
   benchutil::check("clients keep connecting under the 120-bot flood (>= 85%)",
                    success_pct >= 85.0);
   // Fig. 13/14: the defense decouples attacker admission from flood size —

@@ -11,22 +11,23 @@ using namespace tcpz;
 
 int main(int argc, char** argv) {
   const auto args = benchutil::parse(argc, argv);
-  sim::ScenarioConfig cfg = benchutil::paper_scenario(args);
-  cfg.attack = sim::AttackType::kBogusSolutionFlood;
-  cfg.defense = tcp::DefenseMode::kPuzzles;
-  cfg.difficulty = {2, 17};
+  scenario::Spec spec = benchutil::paper_spec(args);
+  spec.servers.policies = {defense::PolicySpec::puzzles()};
+  scenario::AttackSpec atk;
+  atk.strategy = offense::StrategySpec::bogus_solution_flood();
+  spec.attacks = {atk};
 
   benchutil::header(
       "§7: solution floods (bogus-solution barrage)",
       "bogus solutions are rejected; server CPU stays < 5%; saturating a "
       "10.8 Mhash/s verifier takes millions of pps");
 
-  const auto res = sim::run_scenario(cfg);
-  const auto& c = res.server.counters;
+  const auto res = scenario::run(spec);
+  const auto& c = res.server().counters;
   const SimTime w0 = SimTime::seconds(
-      static_cast<std::int64_t>(benchutil::atk_lo(cfg)));
+      static_cast<std::int64_t>(benchutil::atk_lo(spec)));
   const SimTime w1 = SimTime::seconds(
-      static_cast<std::int64_t>(benchutil::atk_hi(cfg)));
+      static_cast<std::int64_t>(benchutil::atk_hi(spec)));
 
   const std::uint64_t rejected = c.solutions_invalid + c.solutions_bad_ackno +
                                  c.solutions_expired +
@@ -48,16 +49,16 @@ int main(int argc, char** argv) {
   std::printf("server crypto ops:     %lu hashes total\n",
               static_cast<unsigned long>(c.crypto_hash_ops));
   std::printf("server CPU (attack):   %.2f%%\n",
-              100.0 * res.server.cpu.mean_in(w0, w1));
+              100.0 * res.server().cpu.mean_in(w0, w1));
 
   benchutil::check("every bogus solution is rejected",
                    c.established_puzzle == c.solutions_valid);
   benchutil::check("server CPU stays below 5% under the solution flood",
-                   res.server.cpu.mean_in(w0, w1) < 0.05);
+                   res.server().cpu.mean_in(w0, w1) < 0.05);
 
   // The §7 arithmetic, from this configuration's numbers.
-  const double verify_cost = cfg.difficulty.expected_verify_hashes();
-  const double server_rate = cfg.server_cpu.hash_rate;
+  const double verify_cost = spec.servers.difficulty.expected_verify_hashes();
+  const double server_rate = spec.servers.cpu.hash_rate;
   const double pps_to_saturate = server_rate / verify_cost;
   std::printf("\nanalytic: verify costs %.1f hashes; a %.1f Mhash/s server "
               "needs %.2f Mpps of bogus solutions to saturate\n",
@@ -66,10 +67,10 @@ int main(int argc, char** argv) {
                    pps_to_saturate > 2e6);
 
   // Clients keep being served while the flood runs.
-  const double during = res.client_rx_mbps(benchutil::atk_lo(cfg),
-                                           benchutil::atk_hi(cfg));
-  const double before = res.client_rx_mbps(benchutil::pre_lo(cfg),
-                                           benchutil::pre_hi(cfg));
+  const double during = res.client_rx_mbps(benchutil::atk_lo(spec),
+                                           benchutil::atk_hi(spec));
+  const double before = res.client_rx_mbps(benchutil::pre_lo(spec),
+                                           benchutil::pre_hi(spec));
   std::printf("client goodput: %.2f Mbps before, %.2f Mbps during\n", before,
               during);
   // Clients must solve (protection is engaged by the flood) and are limited

@@ -1,0 +1,238 @@
+// Attack-strategy × defense-policy matrix on the scaled timeline: every
+// post-refactor attacker model (pulsed/shrew, game-adaptive, fleet-aware
+// multi-target, mixed heterogeneous botnet) against {none, syncookies,
+// puzzles, hybrid}. This is the smoke grid CI runs so a new strategy or a
+// new policy cannot silently stop composing with the rest of the matrix —
+// exactly the kind of scenario coverage the one declarative engine exists
+// for.
+//
+// Shape checks are intentionally coarse (the figure benches own the precise
+// claims): puzzles must blunt every attacker the theory says they blunt,
+// the game-adaptive attacker must stay inside its best-response admission
+// budget, and a multi-target spread must engage every replica's defense.
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "game/model.hpp"
+#include "sim/devices.hpp"
+
+using namespace tcpz;
+
+namespace {
+
+struct PolicyCase {
+  const char* name;
+  defense::PolicySpec spec;
+};
+
+struct Cell {
+  double success_pct = 0;
+  double attacker_cps = 0;
+  scenario::Result result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::parse(argc, argv);
+
+  benchutil::header(
+      "strategy matrix: new attacker models x defense policies",
+      "every post-refactor strategy composes with every policy; puzzles and "
+      "hybrid blunt each attacker the theory says they blunt");
+
+  const PolicyCase policies[] = {
+      {"none", defense::PolicySpec::none()},
+      {"syncookies", defense::PolicySpec::syn_cookies()},
+      {"puzzles", defense::PolicySpec::puzzles()},
+      {"hybrid", defense::PolicySpec::hybrid()},
+  };
+  const char* strategies[] = {"pulsed", "game-adaptive", "multi-target",
+                              "mixed"};
+
+  const scenario::Spec base = benchutil::paper_spec(args);
+  const std::size_t lo = benchutil::atk_lo(base);
+  const std::size_t hi = benchutil::atk_hi(base);
+
+  auto make_spec = [&](int strategy, const defense::PolicySpec& policy) {
+    scenario::Spec s = base;
+    s.servers.policies = {policy};
+    switch (strategy) {
+      case 0: {  // pulsed/shrew: ride the latch hysteresis
+        scenario::AttackSpec a;
+        a.count = 5;
+        a.rate = 500.0;
+        a.strategy = offense::StrategySpec::pulsed(
+            SimTime::seconds(20), 0.25, /*spoofed=*/false, /*patched=*/false);
+        s.attacks = {a};
+        break;
+      }
+      case 1: {  // rational best-response solve-vs-spray split
+        scenario::AttackSpec a;
+        a.count = 5;
+        a.rate = 300.0;
+        a.strategy = offense::StrategySpec::game_adaptive(/*valuation=*/3e5);
+        s.attacks = {a};
+        break;
+      }
+      case 2: {  // fleet-aware spread over three addressable servers
+        s.servers.count = 3;
+        scenario::AttackSpec a;
+        a.count = 5;
+        a.rate = 300.0;
+        a.strategy = offense::StrategySpec::multi_target();
+        s.attacks = {a};
+        break;
+      }
+      default: {  // mixed heterogeneous botnet: Xeon conn + IoT syn + bogus
+        scenario::AttackSpec conn;
+        conn.name = "xeon-conn";
+        conn.count = 3;
+        conn.rate = 300.0;
+        conn.strategy = offense::StrategySpec::conn_flood();
+        scenario::AttackSpec syn;
+        syn.name = "iot-syn";
+        syn.count = 2;
+        syn.rate = 300.0;
+        syn.strategy = offense::StrategySpec::syn_flood();
+        syn.cpu = {sim::kIotDevices[0].hash_rate, sim::kIotDevices[0].cores,
+                   1};
+        scenario::AttackSpec bogus;
+        bogus.name = "bogus";
+        bogus.count = 2;
+        bogus.rate = 200.0;
+        bogus.strategy = offense::StrategySpec::bogus_solution_flood();
+        s.attacks = {conn, syn, bogus};
+        break;
+      }
+    }
+    return s;
+  };
+
+  Cell grid[4][4];
+  for (int si = 0; si < 4; ++si) {
+    for (int pi = 0; pi < 4; ++pi) {
+      Cell& cell = grid[si][pi];
+      cell.result = scenario::run(make_spec(si, policies[pi].spec));
+      cell.success_pct = cell.result.client_wire_success_pct(lo, hi);
+      cell.attacker_cps = cell.result.attacker_cps(lo, hi);
+    }
+  }
+
+  std::printf("client wire success %% / attacker cps, attack window "
+              "%zu-%zu s:\n",
+              lo, hi);
+  std::printf("%-14s", "");
+  for (const auto& p : policies) std::printf(" %18s", p.name);
+  std::printf("\n");
+  for (int si = 0; si < 4; ++si) {
+    std::printf("%-14s", strategies[si]);
+    for (int pi = 0; pi < 4; ++pi) {
+      std::printf("     %6.1f%%/%6.1f", grid[si][pi].success_pct,
+                  grid[si][pi].attacker_cps);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+  for (int si = 0; si < 4; ++si) {
+    for (int pi = 0; pi < 4; ++pi) {
+      const std::string key = std::string(strategies[si]) + "_" +
+                              policies[pi].name;
+      benchutil::metric((key + "_success_pct").c_str(),
+                        grid[si][pi].success_pct);
+      benchutil::metric((key + "_attacker_cps").c_str(),
+                        grid[si][pi].attacker_cps);
+    }
+  }
+  for (int si = 0; si < 4; ++si) {
+    // The mixed row has several groups; join the names so the artifact
+    // records every strategy that ran in the cell.
+    std::string names;
+    for (const auto& g : grid[si][2].result.groups) {
+      if (!names.empty()) names += "+";
+      names += g.name;
+    }
+    benchutil::label((std::string("strategy_") + strategies[si]).c_str(),
+                     names);
+  }
+  benchutil::label("policy_puzzles", grid[0][2].result.server().policy);
+  benchutil::label("policy_hybrid", grid[0][3].result.server().policy);
+
+  // -- shape checks ---------------------------------------------------------
+  for (int si = 0; si < 4; ++si) {
+    benchutil::check((std::string(strategies[si]) +
+                      ": puzzles keep solving clients served (>= 50%)")
+                         .c_str(),
+                     grid[si][2].success_pct >= 50.0);
+    benchutil::check((std::string(strategies[si]) +
+                      ": hybrid keeps solving clients served (>= 50%)")
+                         .c_str(),
+                     grid[si][3].success_pct >= 50.0);
+  }
+
+  // The rational attacker obeys its own best response: admission under
+  // puzzles stays inside the single-user equilibrium budget x*(l) per bot.
+  {
+    game::GameConfig g;
+    g.valuations = {3e5};
+    g.mu = 1100.0;
+    const double x_star =
+        game::solve_equilibrium(g, puzzle::Difficulty{2, 17}
+                                       .expected_solve_hashes())
+            .total_rate;
+    benchutil::metric("game_adaptive_best_response_rate", x_star);
+    benchutil::check("game-adaptive vs puzzles: admission inside the "
+                     "best-response budget (<= 2x per-bot x*)",
+                     grid[1][2].attacker_cps <= 2.0 * 5 * x_star + 1.0);
+    // Undefended, the rational attacker infers price 0, floods every slot
+    // and denies service outright; puzzles price it back into its budget.
+    benchutil::check("game-adaptive vs none: the unpriced attacker denies "
+                     "service (< 25% success)",
+                     grid[1][0].success_pct < 25.0);
+    benchutil::check("game-adaptive vs syncookies: cookies leave the "
+                     "attacker's connects unpriced (> 50 cps admitted)",
+                     grid[1][1].attacker_cps > 50.0);
+  }
+
+  // A multi-target spread engages the defense on every replica.
+  {
+    const scenario::Result& r = grid[2][2].result;
+    bool all_challenged = true;
+    for (const auto& srv : r.servers) {
+      all_challenged &= srv.counters.challenges_sent > 0;
+    }
+    benchutil::check("multi-target vs puzzles: every replica is hit and "
+                     "every replica challenges",
+                     all_challenged && r.servers.size() == 3);
+  }
+
+  // The mixed botnet exercises all three legacy behaviours in one run.
+  {
+    const scenario::Result& r = grid[3][2].result;
+    benchutil::check("mixed vs puzzles: bogus solutions forced verification "
+                     "work (invalid solutions > 0)",
+                     r.server().counters.solutions_invalid > 0);
+    benchutil::check("mixed vs puzzles: the SYN-flood group never completes "
+                     "a handshake",
+                     r.groups[1].total_established() == 0);
+    benchutil::check("mixed: three groups reported with their own bots",
+                     r.groups.size() == 3 && r.groups[0].bots.size() == 3 &&
+                         r.groups[1].bots.size() == 2 &&
+                         r.groups[2].bots.size() == 2);
+  }
+
+  // Pulsed attack really pulses: the group is silent between bursts.
+  {
+    const scenario::Result& r = grid[0][2].result;
+    const std::size_t burst_end =
+        base.attack_start_bin() + 5;  // duty 0.25 of a 20 s period
+    benchutil::check("pulsed: off-phase emits nothing",
+                     r.groups[0].measured_rate(burst_end + 2,
+                                               burst_end + 13) == 0.0);
+    benchutil::check("pulsed: on-phase floods",
+                     r.groups[0].measured_rate(base.attack_start_bin() + 1,
+                                               burst_end - 1) > 1000.0);
+  }
+
+  return benchutil::finish();
+}

@@ -5,57 +5,59 @@
 //   cmake -B build -S . && cmake --build build -j
 //   ./build/example_fleet_demo
 //
-// The printout walks through what the paper's statelessness property buys a
+// The whole experiment is one declarative scenario::Spec — topology,
+// per-replica defense policies, attack group and failure timeline. The
+// printout walks through what the paper's statelessness property buys a
 // cluster: challenges minted by one replica verify on any other, so the
 // balancer can move flows freely (failover, rebalancing) and the secret can
 // rotate without dropping clients.
 #include <cstdio>
 
-#include "fleet/scenario.hpp"
+#include "scenario/spec.hpp"
 
 using namespace tcpz;
 
 int main() {
-  fleet::FleetScenarioConfig f;
-  f.base = sim::ScenarioConfig{}.scaled();  // 120 s run, attack 30-80 s
-  f.base.attack = sim::AttackType::kConnFlood;
-  f.base.bots_solve = false;  // classic flood tool: ignores challenges
-  f.n_replicas = 4;
-  // A heterogeneous fleet through the per-replica policy API: two plain
+  scenario::Spec s = scenario::Spec{}.scaled();  // 120 s run, attack 30-80 s
+  s.servers.count = 4;
+  // A heterogeneous fleet through the per-server policy list: two plain
   // puzzle replicas, one with the §7 adaptive difficulty loop, one hybrid
   // (cookies for the listen queue, puzzles for the accept queue).
-  f.replica_policies = {
+  s.servers.policies = {
       defense::PolicySpec::puzzles(),
       defense::PolicySpec::puzzles().with_adaptive(AdaptiveConfig{}),
       defense::PolicySpec::hybrid(),
       defense::PolicySpec::puzzles(),
   };
-  f.divide_capacity = false;  // scale-out: each replica a full §6 server
-  f.policy = fleet::BalancePolicy::kRoundRobin;
-  f.rotation_interval = SimTime::seconds(40);
-  f.rotation_overlap = SimTime::seconds(8);
+  s.fleet.enabled = true;
+  s.fleet.divide_capacity = false;  // scale-out: each replica a full §6 server
+  s.fleet.balance = fleet::BalancePolicy::kRoundRobin;
+  s.fleet.rotation_interval = SimTime::seconds(40);
+  s.fleet.rotation_overlap = SimTime::seconds(8);
   // Replica 2 dies in the middle of the attack and comes back a little later.
-  f.events = {{SimTime::seconds(50), 2, false}, {SimTime::seconds(70), 2, true}};
+  s.events = {{SimTime::seconds(50), 2, false}, {SimTime::seconds(70), 2, true}};
+  scenario::AttackSpec atk;  // classic flood tool: ignores challenges
+  atk.strategy = offense::StrategySpec::conn_flood(/*patched=*/false);
+  s.attacks = {atk};
 
   std::printf("running a %d-replica %s fleet under a %.0f pps connection "
               "flood (attack %s-%s)...\n",
-              f.n_replicas, to_string(f.policy),
-              f.base.bot_rate * f.base.n_bots,
-              f.base.attack_start.to_string().c_str(),
-              f.base.attack_end.to_string().c_str());
+              s.servers.count, to_string(s.fleet.balance),
+              atk.rate * atk.count, s.attack_start.to_string().c_str(),
+              s.attack_end.to_string().c_str());
 
-  const fleet::FleetResult r = fleet::run_fleet_scenario(f);
+  const scenario::Result r = scenario::run(s);
 
-  const std::size_t atk_lo = f.base.attack_start_bin() + 5;
-  const std::size_t atk_hi = f.base.attack_end_bin() - 1;
+  const std::size_t atk_lo = s.attack_start_bin() + 5;
+  const std::size_t atk_hi = s.attack_end_bin() - 1;
 
   std::printf("\nper-replica outcome:\n");
   std::printf("%-9s %-18s %12s %14s %14s %12s\n", "replica", "policy",
               "established", "via puzzles", "challenges", "rotations");
-  for (std::size_t i = 0; i < r.replicas.size(); ++i) {
-    const auto& c = r.replicas[i].counters;
+  for (std::size_t i = 0; i < r.servers.size(); ++i) {
+    const auto& c = r.servers[i].counters;
     std::printf("%-9zu %-18s %12llu %14llu %14llu %12llu\n", i,
-                r.replicas[i].policy.c_str(),
+                r.servers[i].policy.c_str(),
                 static_cast<unsigned long long>(c.established_total),
                 static_cast<unsigned long long>(c.established_puzzle),
                 static_cast<unsigned long long>(c.challenges_sent),

@@ -6,67 +6,74 @@
 //
 //   ./build/examples/flood_defense_demo [none|cookies|puzzles|hybrid|adaptive]
 //
-// The defense is selected through the pluggable policy layer
-// (src/defense/): besides the paper's three modes, `hybrid` composes
-// cookies (listen queue) with puzzles (accept queue) and `adaptive` wraps
-// the puzzles in the §7 closed difficulty loop.
+// The run is a declarative scenario::Spec: the defense is selected through
+// the pluggable policy layer (src/defense/) and the attack through the
+// pluggable strategy layer (src/offense/). Besides the paper's three modes,
+// `hybrid` composes cookies (listen queue) with puzzles (accept queue) and
+// `adaptive` wraps the puzzles in the §7 closed difficulty loop.
 #include <cstdio>
 #include <cstring>
 
-#include "sim/scenario.hpp"
+#include "scenario/spec.hpp"
 
 using namespace tcpz;
-using namespace tcpz::sim;
 
 int main(int argc, char** argv) {
-  defense::PolicySpec spec = defense::PolicySpec::puzzles();
+  defense::PolicySpec policy = defense::PolicySpec::puzzles();
   if (argc > 1) {
     if (std::strcmp(argv[1], "none") == 0) {
-      spec = defense::PolicySpec::none();
+      policy = defense::PolicySpec::none();
     } else if (std::strcmp(argv[1], "cookies") == 0) {
-      spec = defense::PolicySpec::syn_cookies();
+      policy = defense::PolicySpec::syn_cookies();
     } else if (std::strcmp(argv[1], "hybrid") == 0) {
-      spec = defense::PolicySpec::hybrid();
+      policy = defense::PolicySpec::hybrid();
     } else if (std::strcmp(argv[1], "adaptive") == 0) {
       AdaptiveConfig actl;
       actl.base = {2, 15};  // start easier than Nash; the loop hardens it
       actl.m_max = 20;
-      spec = defense::PolicySpec::puzzles().with_adaptive(actl);
+      policy = defense::PolicySpec::puzzles().with_adaptive(actl);
     }
   }
 
-  ScenarioConfig cfg = ScenarioConfig{}.scaled();
-  cfg.attack = AttackType::kConnFlood;
-  cfg.policy = spec;
-  cfg.difficulty = {2, 17};  // the Nash setting of §4.4
-  if (spec.adaptive) cfg.difficulty = spec.adaptive->base;
+  scenario::Spec spec = scenario::Spec{}.scaled();  // 120 s, attack 30-80 s
+  spec.servers.policies = {policy};
+  spec.servers.difficulty = {2, 17};  // the Nash setting of §4.4
+  if (policy.adaptive) spec.servers.difficulty = policy.adaptive->base;
+  scenario::AttackSpec atk;  // the §6 botnet: 10 bots at 500 pps
+  atk.strategy = offense::StrategySpec::conn_flood();
+  spec.attacks = {atk};
 
   std::printf("== connection flood vs defense policy '%s' ==\n",
-              spec.adaptive ? "adaptive+puzzles" : to_string(spec.kind));
-  std::printf("15 clients @ 20 req/s; 10 bots @ 500 pps; attack %.0f-%.0f s\n\n",
-              cfg.attack_start.to_seconds(), cfg.attack_end.to_seconds());
+              policy.adaptive ? "adaptive+puzzles" : to_string(policy.kind));
+  std::printf("%d clients @ %.0f req/s; %d bots @ %.0f pps; attack "
+              "%.0f-%.0f s\n\n",
+              spec.workload.n_clients, spec.workload.request_rate, atk.count,
+              atk.rate, spec.attack_start.to_seconds(),
+              spec.attack_end.to_seconds());
 
-  const ScenarioResult res = run_scenario(cfg);
+  const scenario::Result res = scenario::run(spec);
+  const sim::ServerReport& server = res.server();
 
   std::printf("%-6s %12s %10s %10s %10s %12s %10s\n", "t(s)", "server Mbps",
               "listen q", "accept q", "srv cpu%", "attacker cps", "client cps");
-  for (std::size_t t = 0; t < cfg.duration_bins(); t += 5) {
+  for (std::size_t t = 0; t < spec.duration_bins(); t += 5) {
     const SimTime a = SimTime::seconds(static_cast<std::int64_t>(t));
     const SimTime b = a + SimTime::seconds(5);
     const char* marker =
-        (a >= cfg.attack_start && a < cfg.attack_end) ? "<< attack" : "";
+        (a >= spec.attack_start && a < spec.attack_end) ? "<< attack" : "";
     std::printf("%-6zu %12.1f %10.0f %10.0f %10.2f %12.1f %10.1f  %s\n", t,
-                res.server.tx_mbps(t, t + 5),
-                res.server.listen_queue.mean_in(a, b),
-                res.server.accept_queue.mean_in(a, b),
-                100.0 * res.server.cpu.mean_in(a, b),
-                res.server.established_attacker.mean_rate(t, t + 5),
-                res.server.established_client.mean_rate(t, t + 5), marker);
+                server.tx_mbps(t, t + 5),
+                server.listen_queue.mean_in(a, b),
+                server.accept_queue.mean_in(a, b),
+                100.0 * server.cpu.mean_in(a, b),
+                server.established_attacker.mean_rate(t, t + 5),
+                server.established_client.mean_rate(t, t + 5), marker);
   }
 
-  const auto& c = res.server.counters;
-  std::printf("\npolicy: %s (final difficulty m=%.0f)\n",
-              res.server.policy.c_str(), res.server.final_difficulty_m);
+  const auto& c = server.counters;
+  std::printf("\npolicy: %s (final difficulty m=%.0f); attack: %s\n",
+              server.policy.c_str(), server.final_difficulty_m,
+              res.groups[0].name.c_str());
   std::printf("listener counters:\n");
   std::printf("  syns=%llu  plain-synacks=%llu  challenges=%llu  cookies=%llu\n",
               static_cast<unsigned long long>(c.syns_received),

@@ -33,6 +33,8 @@ struct AdaptiveConfig {
   /// Consecutive periods a signal must persist before a step (debounce).
   int patience = 3;
   SimTime period = SimTime::seconds(1);
+
+  bool operator==(const AdaptiveConfig&) const = default;
 };
 
 class AdaptiveDifficultyController {

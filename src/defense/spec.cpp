@@ -21,6 +21,18 @@ PolicySpec PolicySpec::from_mode(tcp::DefenseMode mode) {
   return none();
 }
 
+PolicySpec PolicySpec::from_legacy(tcp::DefenseMode mode, bool always_challenge,
+                                   SimTime protection_hold,
+                                   double protection_engage_water,
+                                   std::optional<AdaptiveConfig> adaptive) {
+  PolicySpec s = from_mode(mode);
+  s.always_challenge = always_challenge;
+  s.protection_hold = protection_hold;
+  s.protection_engage_water = protection_engage_water;
+  s.adaptive = adaptive;
+  return s;
+}
+
 std::unique_ptr<DefensePolicy> PolicySpec::build() const {
   std::unique_ptr<DefensePolicy> p;
   switch (kind) {

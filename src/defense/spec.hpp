@@ -38,6 +38,8 @@ struct PolicySpec {
   /// the AdaptivePuzzlePolicy decorator — the §7 closed difficulty loop.
   std::optional<AdaptiveConfig> adaptive;
 
+  bool operator==(const PolicySpec&) const = default;
+
   // -- canonical specs -------------------------------------------------------
   [[nodiscard]] static PolicySpec of(Kind k) {
     PolicySpec s;
@@ -52,6 +54,15 @@ struct PolicySpec {
   /// The DefenseMode compatibility shim: the enum names one of the three
   /// canonical specs.
   [[nodiscard]] static PolicySpec from_mode(tcp::DefenseMode mode);
+
+  /// The full legacy-knob shim: a DefenseMode plus the scattered controller
+  /// knobs the pre-policy scenario configs carried. Both scenario layers
+  /// (sim::ScenarioConfig::policy_spec and the fleet's per-replica mode
+  /// list) map their legacy fields through this one function, so the
+  /// mapping can never drift between them.
+  [[nodiscard]] static PolicySpec from_legacy(
+      tcp::DefenseMode mode, bool always_challenge, SimTime protection_hold,
+      double protection_engage_water, std::optional<AdaptiveConfig> adaptive);
 
   /// Fluent helper: the same spec with the adaptive decorator enabled.
   [[nodiscard]] PolicySpec with_adaptive(AdaptiveConfig cfg) const {

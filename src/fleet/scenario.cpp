@@ -1,48 +1,50 @@
 #include "fleet/scenario.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <memory>
 #include <stdexcept>
-#include <string>
+#include <utility>
 
-#include "fleet/replay_cache.hpp"
-#include "fleet/secret_directory.hpp"
-#include "net/topology.hpp"
-#include "sim/attacker_agent.hpp"
-#include "sim/client_agent.hpp"
-#include "sim/server_agent.hpp"
+#include "scenario/spec.hpp"
 
 namespace tcpz::fleet {
 namespace {
 
-constexpr std::uint32_t kVip = tcp::ipv4(10, 1, 0, 1);
-constexpr std::uint16_t kServerPort = 80;
-
-std::uint32_t client_addr(int i) {
-  return tcp::ipv4(10, 2, 0, 1) + static_cast<std::uint32_t>(i);
-}
-std::uint32_t bot_addr(int i) {
-  return tcp::ipv4(10, 3, 0, 1) + static_cast<std::uint32_t>(i);
-}
-bool is_bot_addr(std::uint32_t addr) {
-  return (addr & 0xffff0000u) == tcp::ipv4(10, 3, 0, 0);
-}
-
 /// Resolve replica i's defense: explicit per-replica spec, legacy
-/// per-replica mode (with the base scenario's shim knobs), or the base
-/// scenario's policy.
+/// per-replica mode (with the base scenario's shim knobs, through the one
+/// shared defense::PolicySpec::from_legacy mapping), or the base scenario's
+/// policy.
 defense::PolicySpec replica_spec(const FleetScenarioConfig& fcfg, int i) {
   if (!fcfg.replica_policies.empty()) {
     return fcfg.replica_policies[static_cast<std::size_t>(i)];
   }
   if (!fcfg.replica_modes.empty()) {
-    sim::ScenarioConfig base = fcfg.base;
-    base.policy.reset();
-    base.defense = fcfg.replica_modes[static_cast<std::size_t>(i)];
-    return base.policy_spec();
+    return defense::PolicySpec::from_legacy(
+        fcfg.replica_modes[static_cast<std::size_t>(i)],
+        fcfg.base.always_challenge, fcfg.base.protection_hold,
+        fcfg.base.protection_engage_water, fcfg.base.adaptive);
   }
   return fcfg.base.policy_spec();
+}
+
+scenario::Spec to_spec(const FleetScenarioConfig& fcfg) {
+  scenario::Spec s = fcfg.base.to_spec();
+  s.servers.count = fcfg.n_replicas;
+  s.servers.policies.clear();
+  for (int i = 0; i < fcfg.n_replicas; ++i) {
+    s.servers.policies.push_back(replica_spec(fcfg, i));
+  }
+  s.fleet.enabled = true;
+  s.fleet.balance = fcfg.policy;
+  s.fleet.rotation_interval = fcfg.rotation_interval;
+  s.fleet.rotation_overlap = fcfg.rotation_overlap;
+  s.fleet.shared_replay_cache = fcfg.shared_replay_cache;
+  s.fleet.divide_capacity = fcfg.divide_capacity;
+  s.fleet.lb_uplink_bps = fcfg.lb_uplink_bps;
+  s.fleet.lb_flow_idle_timeout = fcfg.lb_flow_idle_timeout;
+  for (const ReplicaEvent& ev : fcfg.events) {
+    s.events.push_back({ev.at, ev.replica, ev.up});
+  }
+  return s;
 }
 
 }  // namespace
@@ -94,9 +96,6 @@ double FleetResult::replica_attacker_cps(std::size_t replica, std::size_t from,
 }
 
 FleetResult run_fleet_scenario(const FleetScenarioConfig& fcfg) {
-  const auto wall_start = std::chrono::steady_clock::now();
-  const sim::ScenarioConfig& cfg = fcfg.base;
-
   if (fcfg.n_replicas < 1) {
     throw std::invalid_argument("fleet: n_replicas must be >= 1");
   }
@@ -112,204 +111,22 @@ FleetResult run_fleet_scenario(const FleetScenarioConfig& fcfg) {
         "fleet: replica_policies must be empty or one entry per replica");
   }
 
-  net::Simulator sim;
-  net::Topology topo(sim);
-  Rng seeder(cfg.seed);
-
-  // Fig. 16 backbone, with the server edge replaced by the balancer + fleet.
-  net::Router* r1 = topo.add_router("r1");
-  net::Router* r2 = topo.add_router("r2");
-  net::Router* r3 = topo.add_router("r3");
-  const net::LinkSpec backbone{cfg.backbone_bps, cfg.link_delay, 4u << 20};
-  topo.connect(r1, r2, backbone);
-  topo.connect(r2, r3, backbone);
-  topo.connect(r1, r3, backbone);
-
-  LoadBalancerConfig lcfg;
-  lcfg.vip = kVip;
-  lcfg.policy = fcfg.policy;
-  lcfg.flow_idle_timeout = fcfg.lb_flow_idle_timeout;
-  auto* lb = static_cast<LoadBalancer*>(
-      topo.add_node(std::make_unique<LoadBalancer>(sim, "lb", lcfg)));
-  topo.advertise(lb, kVip);
-  topo.connect(lb, r1, {fcfg.lb_uplink_bps, cfg.link_delay, 4u << 20});
-
-  // Replicas terminate VIP traffic directly (DSR); their hosts carry the VIP
-  // address but are not advertised — the balancer owns the route.
-  std::vector<net::Host*> replica_hosts;
-  const net::LinkSpec replica_link{cfg.server_link_bps, cfg.link_delay,
-                                   4u << 20};
-  for (int i = 0; i < fcfg.n_replicas; ++i) {
-    net::Host* h = topo.add_host("replica" + std::to_string(i), kVip,
-                                 /*advertise=*/false);
-    auto [to_replica, from_replica] = topo.connect(lb, h, replica_link);
-    (void)from_replica;
-    lb->add_backend(to_replica);
-    replica_hosts.push_back(h);
+  scenario::Result r = scenario::run(to_spec(fcfg));
+  FleetResult out;
+  out.replicas = std::move(r.servers);
+  out.clients = std::move(r.clients);
+  for (auto& g : r.groups) {
+    for (auto& b : g.bots) out.bots.push_back(std::move(b));
   }
-
-  std::vector<net::Host*> client_hosts;
-  const net::LinkSpec host_link{cfg.host_link_bps, cfg.link_delay, 1u << 20};
-  for (int i = 0; i < cfg.n_clients; ++i) {
-    net::Host* h = topo.add_host("client" + std::to_string(i), client_addr(i));
-    topo.connect(h, i % 2 == 0 ? r2 : r3, host_link);
-    client_hosts.push_back(h);
-  }
-  std::vector<net::Host*> bot_hosts;
-  for (int i = 0; i < cfg.n_bots; ++i) {
-    net::Host* h = topo.add_host("bot" + std::to_string(i), bot_addr(i));
-    topo.connect(h, i % 2 == 0 ? r3 : r2, host_link);
-    bot_hosts.push_back(h);
-  }
-  topo.compute_routes();
-
-  // Secret distribution: every protected replica holds the directory's
-  // current secret, so any of them verifies any other's challenges.
-  SecretDirectoryConfig dcfg;
-  dcfg.seed = cfg.seed;
-  dcfg.rotation_interval = fcfg.rotation_interval;
-  dcfg.overlap = fcfg.rotation_overlap;
-  dcfg.engine.sol_len = cfg.sol_len;
-  dcfg.engine.expiry_ms = cfg.puzzle_expiry_ms;
-  SecretDirectory directory(dcfg);
-
-  // Replay entries die with the puzzle expiry (plus clock slack).
-  ReplayCache replay_cache(cfg.puzzle_expiry_ms + 1000);
-
-  // Cluster capacity: split the single-server pool or replicate it.
-  const int div = fcfg.divide_capacity ? fcfg.n_replicas : 1;
-  const int replica_workers = std::max(1, cfg.n_workers / div);
-  const double replica_service_rate = cfg.service_rate / div;
-  const std::size_t replica_listen_backlog =
-      std::max<std::size_t>(16, cfg.listen_backlog / static_cast<std::size_t>(div));
-  const std::size_t replica_accept_backlog =
-      std::max<std::size_t>(16, cfg.accept_backlog / static_cast<std::size_t>(div));
-
-  std::vector<std::unique_ptr<sim::ServerAgent>> replicas;
-  for (int i = 0; i < fcfg.n_replicas; ++i) {
-    const defense::PolicySpec spec = replica_spec(fcfg, i);
-    sim::ServerAgentConfig scfg;
-    scfg.listener.local_addr = kVip;
-    scfg.listener.local_port = kServerPort;
-    scfg.listener.listen_backlog = replica_listen_backlog;
-    scfg.listener.accept_backlog = replica_accept_backlog;
-    scfg.listener.difficulty = cfg.difficulty;
-    scfg.listener.policy = spec.factory();
-    scfg.service_rate = replica_service_rate;
-    scfg.n_workers = replica_workers;
-    scfg.response_bytes = cfg.response_bytes;
-    scfg.app_idle_timeout = cfg.app_idle_timeout;
-    scfg.cpu = cfg.server_cpu;
-    scfg.tick_interval = cfg.tick_interval;
-    scfg.sample_interval = cfg.sample_interval;
-    scfg.is_attacker = is_bot_addr;
-    const bool puzzles = spec.wants_engine();
-    replicas.push_back(std::make_unique<sim::ServerAgent>(
-        sim, *replica_hosts[static_cast<std::size_t>(i)], scfg,
-        directory.current_secret(), seeder.next(),
-        puzzles ? directory.current_engine() : nullptr));
-    if (puzzles) {
-      directory.subscribe(&replicas.back()->listener());
-      if (fcfg.shared_replay_cache) {
-        replicas.back()->listener().set_replay_filter(
-            [&replay_cache](const tcp::FlowKey& flow, std::uint32_t ts,
-                            std::uint32_t now_ms) {
-              return replay_cache.check_and_insert(flow, ts, now_ms);
-            });
-      }
-    }
-    replicas.back()->start(cfg.duration);
-  }
-  directory.start(sim, cfg.duration);
-  lb->start(cfg.duration);
-
-  // Health schedule.
-  for (const ReplicaEvent& ev : fcfg.events) {
-    if (ev.replica < 0 || ev.replica >= fcfg.n_replicas) {
-      throw std::invalid_argument("fleet: event references unknown replica");
-    }
-    sim.schedule_at(ev.at, [lb, ev] { lb->set_backend_up(ev.replica, ev.up); });
-  }
-
-  // Clients and bots target the VIP. One engine instance suffices across
-  // secret rotations: oracle solutions derive from the challenge bytes alone
-  // (DESIGN.md, Substitutions), exactly like a real brute-force solver.
-  std::vector<std::unique_ptr<sim::ClientAgent>> clients;
-  for (int i = 0; i < cfg.n_clients; ++i) {
-    sim::ClientAgentConfig ccfg;
-    ccfg.server_addr = kVip;
-    ccfg.server_port = kServerPort;
-    ccfg.request_rate = cfg.client_rate;
-    ccfg.request_bytes = cfg.request_bytes;
-    ccfg.response_bytes = cfg.response_bytes;
-    ccfg.solve_puzzles = cfg.clients_solve;
-    ccfg.engine = directory.current_engine();
-    ccfg.cpu = cfg.client_cpu;
-    if (cfg.pow == sim::PowKind::kMemoryBound) {
-      ccfg.solve_ops_rate = cfg.client_cpu.mem_rate;
-    }
-    ccfg.max_pending_solves = cfg.client_max_pending_solves;
-    ccfg.response_timeout = cfg.client_response_timeout;
-    ccfg.tick_interval = cfg.tick_interval;
-    ccfg.sample_interval = cfg.sample_interval;
-    clients.push_back(std::make_unique<sim::ClientAgent>(
-        sim, *client_hosts[static_cast<std::size_t>(i)], ccfg, seeder.next()));
-    clients.back()->start(cfg.duration);
-  }
-
-  std::vector<std::unique_ptr<sim::AttackerAgent>> bots;
-  for (int i = 0; i < cfg.n_bots; ++i) {
-    sim::AttackerAgentConfig acfg;
-    acfg.server_addr = kVip;
-    acfg.server_port = kServerPort;
-    acfg.type = cfg.attack;
-    acfg.rate = cfg.bot_rate;
-    acfg.attack_start = cfg.attack_start;
-    acfg.attack_end = cfg.attack_end;
-    acfg.solve_puzzles = cfg.bots_solve;
-    acfg.engine = directory.current_engine();
-    acfg.cpu = cfg.bot_cpu;
-    if (cfg.pow == sim::PowKind::kMemoryBound) {
-      acfg.solve_ops_rate = cfg.bot_cpu.mem_rate;
-    }
-    acfg.max_pending_solves = cfg.bot_max_pending_solves;
-    acfg.max_inflight = cfg.bot_max_inflight;
-    acfg.tick_interval = cfg.tick_interval;
-    acfg.sample_interval = cfg.sample_interval;
-    bots.push_back(std::make_unique<sim::AttackerAgent>(
-        sim, *bot_hosts[static_cast<std::size_t>(i)], acfg, seeder.next()));
-    bots.back()->start(cfg.duration);
-  }
-
-  sim.run_until(cfg.duration);
-  // Deschedule the periodic control-plane timers (idle sweep, rotation)
-  // instead of leaving beyond-horizon tombstones in the queue.
-  lb->stop();
-  directory.stop(sim);
-
-  FleetResult result;
-  for (int i = 0; i < fcfg.n_replicas; ++i) {
-    auto& agent = *replicas[static_cast<std::size_t>(i)];
-    sim::ServerReport report = std::move(agent.report());
-    report.counters = agent.listener().counters();
-    report.policy = agent.listener().policy_name();
-    report.final_difficulty_m = agent.listener().config().difficulty.m;
-    result.cluster += report.counters;
-    result.replicas.push_back(std::move(report));
-    result.lb.backends.push_back(lb->stats(i));
-  }
-  result.lb.no_backend_drops = lb->no_backend_drops();
-  result.lb.failover_evictions = lb->failover_evictions();
-  for (auto& c : clients) result.clients.push_back(std::move(c->report()));
-  for (auto& b : bots) result.bots.push_back(std::move(b->report()));
-  result.secret_rotations = directory.rotations();
-  result.replay_cache_hits = replay_cache.hits();
-  result.events_processed = sim.events_processed();
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
-  return result;
+  out.lb.backends = std::move(r.lb.backends);
+  out.lb.no_backend_drops = r.lb.no_backend_drops;
+  out.lb.failover_evictions = r.lb.failover_evictions;
+  out.cluster = r.cluster;
+  out.secret_rotations = r.secret_rotations;
+  out.replay_cache_hits = r.replay_cache_hits;
+  out.events_processed = r.events_processed;
+  out.wall_seconds = r.wall_seconds;
+  return out;
 }
 
 }  // namespace tcpz::fleet

@@ -15,6 +15,12 @@
 //    challenge is accepted by whichever replica inherits the flow;
 //  * secret rotation with a verify-overlap window, plus a cluster-wide
 //    replay cache.
+//
+// Since the unified scenario engine (src/scenario/), this header is a
+// compatibility shim: run_fleet_scenario translates the config into a
+// scenario::Spec with the fleet topology enabled and executes it there,
+// reproducing the original engine's traces byte-for-byte. New code should
+// build a scenario::Spec directly.
 #pragma once
 
 #include <cstdint>

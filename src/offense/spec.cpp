@@ -1,0 +1,47 @@
+#include "offense/spec.hpp"
+
+namespace tcpz::offense {
+
+const char* to_string(StrategySpec::Kind kind) {
+  switch (kind) {
+    case StrategySpec::Kind::kSynFlood: return "syn-flood";
+    case StrategySpec::Kind::kConnFlood: return "conn-flood";
+    case StrategySpec::Kind::kBogusSolutionFlood:
+      return "bogus-solution-flood";
+    case StrategySpec::Kind::kPulsed: return "pulsed";
+    case StrategySpec::Kind::kGameAdaptive: return "game-adaptive";
+    case StrategySpec::Kind::kMultiTarget: return "multi-target";
+  }
+  return "unknown";
+}
+
+StrategySpec StrategySpec::from_type(sim::AttackType type, bool solve_puzzles) {
+  switch (type) {
+    case sim::AttackType::kSynFlood: return syn_flood();
+    case sim::AttackType::kConnFlood: return conn_flood(solve_puzzles);
+    case sim::AttackType::kBogusSolutionFlood: return bogus_solution_flood();
+  }
+  return conn_flood(solve_puzzles);
+}
+
+std::unique_ptr<AttackStrategy> StrategySpec::build() const {
+  switch (kind) {
+    case Kind::kSynFlood: return std::make_unique<SynFloodStrategy>();
+    case Kind::kConnFlood:
+      return std::make_unique<ConnFloodStrategy>(patched);
+    case Kind::kBogusSolutionFlood:
+      return std::make_unique<BogusSolutionFloodStrategy>();
+    case Kind::kPulsed:
+      return std::make_unique<PulsedStrategy>(
+          PulsedConfig{pulse_period, pulse_duty, pulse_spoofed, patched});
+    case Kind::kGameAdaptive:
+      return std::make_unique<GameAdaptiveStrategy>(
+          GameAdaptiveConfig{valuation, mu, assumed, slot_rate});
+    case Kind::kMultiTarget:
+      return std::make_unique<MultiTargetStrategy>(
+          MultiTargetConfig{patched, spread_spoofed});
+  }
+  return std::make_unique<ConnFloodStrategy>(patched);
+}
+
+}  // namespace tcpz::offense

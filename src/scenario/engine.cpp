@@ -1,0 +1,512 @@
+// The unified scenario engine (see spec.hpp). One code path builds every
+// topology the two legacy drivers handled — single server, addressable
+// multi-server group, load-balanced fleet — and runs any mix of attack
+// groups against it. Construction order, agent seeding order and per-agent
+// RNG use are mirrored from the legacy engines exactly: under
+// SeedMode::kLegacySequential a legacy-shaped spec reproduces the
+// pre-refactor traces byte-for-byte (tests/scenario_trace_test.cpp).
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/secret.hpp"
+#include "fleet/replay_cache.hpp"
+#include "fleet/secret_directory.hpp"
+#include "net/topology.hpp"
+#include "puzzle/engine.hpp"
+#include "sim/attacker_agent.hpp"
+#include "sim/client_agent.hpp"
+#include "sim/server_agent.hpp"
+
+namespace tcpz::scenario {
+namespace {
+
+constexpr std::uint32_t kServerAddr = tcp::ipv4(10, 1, 0, 1);
+constexpr std::uint16_t kServerPort = 80;
+
+std::uint32_t server_addr(int i) {
+  return kServerAddr + static_cast<std::uint32_t>(i);
+}
+std::uint32_t client_addr(int i) {
+  return tcp::ipv4(10, 2, 0, 1) + static_cast<std::uint32_t>(i);
+}
+std::uint32_t bot_addr(int i) {
+  return tcp::ipv4(10, 3, 0, 1) + static_cast<std::uint32_t>(i);
+}
+bool is_bot_addr(std::uint32_t addr) {
+  return (addr & 0xffff0000u) == tcp::ipv4(10, 3, 0, 0);
+}
+
+/// Per-agent seed assignment. Derived mode hashes a stable (role, group,
+/// index) id against the spec seed; legacy mode replays the old engines'
+/// shared sequential seeder stream (servers, then clients, then bots).
+class SeedSource {
+ public:
+  enum class Role : std::uint64_t { kServer = 1, kClient = 2, kBot = 3 };
+
+  SeedSource(SeedMode mode, std::uint64_t root)
+      : mode_(mode), root_(root), seq_(root) {}
+
+  std::uint64_t next(Role role, std::uint64_t group, std::uint64_t index) {
+    if (mode_ == SeedMode::kLegacySequential) return seq_.next();
+    const std::uint64_t id = (static_cast<std::uint64_t>(role) << 56) |
+                             (group << 32) | index;
+    return Rng::derive_seed(root_, id);
+  }
+
+ private:
+  SeedMode mode_;
+  std::uint64_t root_;
+  Rng seq_;
+};
+
+void validate(const Spec& spec) {
+  if (spec.servers.count < 1) {
+    throw std::invalid_argument("scenario: servers.count must be >= 1");
+  }
+  const std::size_t n_policies = spec.servers.policies.size();
+  if (n_policies > 1 &&
+      n_policies != static_cast<std::size_t>(spec.servers.count)) {
+    throw std::invalid_argument(
+        "scenario: servers.policies must be empty, a single spec, or one "
+        "per server");
+  }
+  if (!spec.events.empty() && !spec.fleet.enabled) {
+    throw std::invalid_argument(
+        "scenario: health events require the fleet topology");
+  }
+  for (const TimelineEvent& ev : spec.events) {
+    if (ev.server < 0 || ev.server >= spec.servers.count) {
+      throw std::invalid_argument("scenario: event references unknown server");
+    }
+  }
+  for (const AttackSpec& a : spec.attacks) {
+    if (a.count < 0) {
+      throw std::invalid_argument("scenario: attack group count must be >= 0");
+    }
+    // An empty group never emits, so its rate is irrelevant — legacy
+    // "no attack" baselines (n_bots = 0, bot_rate = 0) stay valid.
+    if (a.count > 0 && a.rate <= 0.0) {
+      throw std::invalid_argument("scenario: attack group rate must be > 0");
+    }
+  }
+}
+
+}  // namespace
+
+std::string AttackSpec::label() const {
+  // The built strategy's own name keeps distinctions the kind alone loses
+  // (e.g. "conn-flood-legacy" for an unpatched stack), exactly as the
+  // defense side threads policy_name() into reports.
+  return name.empty() ? strategy.build()->name() : name;
+}
+
+Spec Spec::scaled() const {
+  // Same rates, shorter timeline; the attack window stays shorter than the
+  // default protection hold so it measures the protected steady state (see
+  // sim::ScenarioConfig::scaled).
+  Spec s = *this;
+  s.duration = SimTime::seconds(120);
+  s.attack_start = SimTime::seconds(30);
+  s.attack_end = SimTime::seconds(80);
+  return s;
+}
+
+defense::PolicySpec Spec::server_policy(int i) const {
+  if (servers.policies.empty()) return defense::PolicySpec::puzzles();
+  if (servers.policies.size() == 1) return servers.policies[0];
+  return servers.policies[static_cast<std::size_t>(i)];
+}
+
+double AttackGroupReport::measured_rate(std::size_t from,
+                                        std::size_t to) const {
+  double sum = 0;
+  for (const auto& b : bots) sum += b.attempts.mean_rate(from, to);
+  return sum;
+}
+
+std::uint64_t AttackGroupReport::total_established() const {
+  std::uint64_t sum = 0;
+  for (const auto& b : bots) sum += b.total_established;
+  return sum;
+}
+
+std::uint64_t AttackGroupReport::total_attempts() const {
+  std::uint64_t sum = 0;
+  for (const auto& b : bots) sum += b.total_attempts;
+  return sum;
+}
+
+double Result::client_rx_mbps(std::size_t from, std::size_t to) const {
+  double sum = 0;
+  for (const auto& c : clients) sum += c.rx_mbps(from, to);
+  return sum;
+}
+
+double Result::client_success_ratio() const {
+  std::uint64_t attempts = 0, completions = 0;
+  for (const auto& c : clients) {
+    attempts += c.total_attempts;
+    completions += c.total_completions;
+  }
+  return attempts ? static_cast<double>(completions) /
+                        static_cast<double>(attempts)
+                  : 0.0;
+}
+
+double Result::client_wire_success_pct(std::size_t from,
+                                       std::size_t to) const {
+  double attempts = 0, completions = 0, refused = 0;
+  for (const auto& c : clients) {
+    for (std::size_t t = from; t < to; ++t) {
+      attempts += c.attempts.total(t);
+      completions += c.completions.total(t);
+      refused += c.refusals.total(t);
+    }
+  }
+  const double wire = attempts - refused;
+  // Completions bin later than their attempts (solve + RTT + response), so
+  // a window can complete slightly more than it started; clamp to 100.
+  return wire > 0 ? std::min(100.0, 100.0 * completions / wire) : 0.0;
+}
+
+double Result::client_success_pct(std::size_t from, std::size_t to) const {
+  double attempts = 0, completions = 0;
+  for (const auto& c : clients) {
+    for (std::size_t t = from; t < to; ++t) {
+      attempts += c.attempts.total(t);
+      completions += c.completions.total(t);
+    }
+  }
+  return attempts > 0 ? 100.0 * completions / attempts : 0.0;
+}
+
+double Result::mean_client_cpu(SimTime from, SimTime to) const {
+  double sum = 0;
+  for (const auto& c : clients) sum += c.cpu.mean_in(from, to);
+  return clients.empty() ? 0.0 : sum / static_cast<double>(clients.size());
+}
+
+double Result::mean_bot_cpu(SimTime from, SimTime to) const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& g : groups) {
+    for (const auto& b : g.bots) {
+      sum += b.cpu.mean_in(from, to);
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double Result::bot_measured_rate(std::size_t from, std::size_t to) const {
+  double sum = 0;
+  for (const auto& g : groups) sum += g.measured_rate(from, to);
+  return sum;
+}
+
+double Result::attacker_cps(std::size_t from, std::size_t to) const {
+  double sum = 0;
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    sum += server_attacker_cps(i, from, to);
+  }
+  return sum;
+}
+
+double Result::server_attacker_cps(std::size_t server, std::size_t from,
+                                   std::size_t to) const {
+  return servers[server].established_attacker.mean_rate(from, to);
+}
+
+Result run(const Spec& spec) {
+  validate(spec);
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  net::Simulator sim;
+  net::Topology topo(sim);
+  SeedSource seeds(spec.seeding, spec.seed);
+  using Role = SeedSource::Role;
+
+  // Fig. 16: three fully connected backbone routers; the service edge
+  // (server, server group, or balancer + fleet) hangs off r1.
+  net::Router* r1 = topo.add_router("r1");
+  net::Router* r2 = topo.add_router("r2");
+  net::Router* r3 = topo.add_router("r3");
+  const net::LinkSpec backbone{spec.net.backbone_bps, spec.net.link_delay,
+                               4u << 20};
+  topo.connect(r1, r2, backbone);
+  topo.connect(r2, r3, backbone);
+  topo.connect(r1, r3, backbone);
+
+  fleet::LoadBalancer* lb = nullptr;
+  std::vector<net::Host*> server_hosts;
+  const net::LinkSpec server_link{spec.net.server_link_bps,
+                                  spec.net.link_delay, 4u << 20};
+  if (spec.fleet.enabled) {
+    fleet::LoadBalancerConfig lcfg;
+    lcfg.vip = kServerAddr;
+    lcfg.policy = spec.fleet.balance;
+    lcfg.flow_idle_timeout = spec.fleet.lb_flow_idle_timeout;
+    lb = static_cast<fleet::LoadBalancer*>(
+        topo.add_node(std::make_unique<fleet::LoadBalancer>(sim, "lb", lcfg)));
+    topo.advertise(lb, kServerAddr);
+    topo.connect(lb, r1,
+                 {spec.fleet.lb_uplink_bps, spec.net.link_delay, 4u << 20});
+    // Replicas terminate VIP traffic directly (DSR); their hosts carry the
+    // VIP address but are not advertised — the balancer owns the route.
+    for (int i = 0; i < spec.servers.count; ++i) {
+      net::Host* h = topo.add_host("replica" + std::to_string(i), kServerAddr,
+                                   /*advertise=*/false);
+      auto [to_replica, from_replica] = topo.connect(lb, h, server_link);
+      (void)from_replica;
+      lb->add_backend(to_replica);
+      server_hosts.push_back(h);
+    }
+  } else {
+    // Each server is independently addressable at 10.1.0.1+i; fleet-aware
+    // strategies spread their attempts across the list.
+    for (int i = 0; i < spec.servers.count; ++i) {
+      net::Host* h = topo.add_host(
+          spec.servers.count == 1 ? "server" : "server" + std::to_string(i),
+          server_addr(i));
+      topo.connect(h, r1, server_link);
+      server_hosts.push_back(h);
+    }
+  }
+
+  std::vector<net::Host*> client_hosts;
+  const net::LinkSpec host_link{spec.net.host_link_bps, spec.net.link_delay,
+                                1u << 20};
+  for (int i = 0; i < spec.workload.n_clients; ++i) {
+    net::Host* h = topo.add_host("client" + std::to_string(i), client_addr(i));
+    topo.connect(h, i % 2 == 0 ? r2 : r3, host_link);
+    client_hosts.push_back(h);
+  }
+  std::vector<net::Host*> bot_hosts;  // flat, in group order
+  {
+    int bot = 0;
+    for (const AttackSpec& g : spec.attacks) {
+      for (int i = 0; i < g.count; ++i, ++bot) {
+        net::Host* h =
+            topo.add_host("bot" + std::to_string(bot), bot_addr(bot));
+        topo.connect(h, bot % 2 == 0 ? r3 : r2, host_link);
+        bot_hosts.push_back(h);
+      }
+    }
+  }
+  topo.compute_routes();
+
+  // Crypto. Non-fleet: one shared oracle engine — the servers verify with
+  // the same secret the oracle derives "solutions" from (DESIGN.md,
+  // Substitutions). Fleet: the SecretDirectory owns secret + engine and
+  // rotates them; a down-level replica simply never subscribes.
+  std::optional<crypto::SecretKey> secret;
+  std::shared_ptr<const puzzle::PuzzleEngine> engine;
+  std::optional<fleet::SecretDirectory> directory;
+  std::optional<fleet::ReplayCache> replay_cache;
+  if (spec.fleet.enabled) {
+    fleet::SecretDirectoryConfig dcfg;
+    dcfg.seed = spec.seed;
+    dcfg.rotation_interval = spec.fleet.rotation_interval;
+    dcfg.overlap = spec.fleet.rotation_overlap;
+    dcfg.engine.sol_len = spec.servers.sol_len;
+    dcfg.engine.expiry_ms = spec.servers.puzzle_expiry_ms;
+    directory.emplace(dcfg);
+    // Replay entries die with the puzzle expiry (plus clock slack).
+    replay_cache.emplace(spec.servers.puzzle_expiry_ms + 1000);
+    engine = directory->current_engine();
+  } else {
+    secret = crypto::SecretKey::from_seed(spec.seed);
+    puzzle::EngineConfig ecfg;
+    ecfg.sol_len = spec.servers.sol_len;
+    ecfg.expiry_ms = spec.servers.puzzle_expiry_ms;
+    engine = std::make_shared<puzzle::OraclePuzzleEngine>(*secret, ecfg);
+  }
+
+  // Capacity: the fleet splits the ServerSpec pool across replicas
+  // (apples-to-apples sharding) or replicates it (scale-out); standalone
+  // servers always get the spec as written.
+  const int div =
+      spec.fleet.enabled && spec.fleet.divide_capacity ? spec.servers.count : 1;
+  const bool clamp = spec.fleet.enabled;
+  const int workers = std::max(1, spec.servers.n_workers / div);
+  const double service_rate = spec.servers.service_rate / div;
+  const std::size_t listen_backlog =
+      clamp ? std::max<std::size_t>(
+                  16, spec.servers.listen_backlog / static_cast<std::size_t>(div))
+            : spec.servers.listen_backlog;
+  const std::size_t accept_backlog =
+      clamp ? std::max<std::size_t>(
+                  16, spec.servers.accept_backlog / static_cast<std::size_t>(div))
+            : spec.servers.accept_backlog;
+
+  std::vector<std::unique_ptr<sim::ServerAgent>> servers;
+  for (int i = 0; i < spec.servers.count; ++i) {
+    const defense::PolicySpec pspec = spec.server_policy(i);
+    sim::ServerAgentConfig scfg;
+    scfg.listener.local_addr =
+        spec.fleet.enabled ? kServerAddr : server_addr(i);
+    scfg.listener.local_port = kServerPort;
+    scfg.listener.listen_backlog = listen_backlog;
+    scfg.listener.accept_backlog = accept_backlog;
+    scfg.listener.difficulty = spec.servers.difficulty;
+    scfg.listener.policy = pspec.factory();
+    scfg.service_rate = service_rate;
+    scfg.n_workers = workers;
+    scfg.response_bytes = spec.workload.response_bytes;
+    scfg.app_idle_timeout = spec.servers.app_idle_timeout;
+    scfg.cpu = spec.servers.cpu;
+    scfg.tick_interval = spec.tick_interval;
+    scfg.sample_interval = spec.sample_interval;
+    scfg.is_attacker = is_bot_addr;
+    const bool puzzles = pspec.wants_engine();
+    servers.push_back(std::make_unique<sim::ServerAgent>(
+        sim, *server_hosts[static_cast<std::size_t>(i)], scfg,
+        spec.fleet.enabled ? directory->current_secret() : *secret,
+        seeds.next(Role::kServer, 0, static_cast<std::uint64_t>(i)),
+        puzzles ? engine : nullptr));
+    if (spec.fleet.enabled && puzzles) {
+      directory->subscribe(&servers.back()->listener());
+      if (spec.fleet.shared_replay_cache) {
+        fleet::ReplayCache* rc = &*replay_cache;
+        servers.back()->listener().set_replay_filter(
+            [rc](const tcp::FlowKey& flow, std::uint32_t ts,
+                 std::uint32_t now_ms) {
+              return rc->check_and_insert(flow, ts, now_ms);
+            });
+      }
+    }
+    servers.back()->start(spec.duration);
+  }
+  if (spec.fleet.enabled) {
+    directory->start(sim, spec.duration);
+    lb->start(spec.duration);
+    // Health schedule (applied through the balancer's health state).
+    for (const TimelineEvent& ev : spec.events) {
+      sim.schedule_at(ev.at,
+                      [lb, ev] { lb->set_backend_up(ev.server, ev.up); });
+    }
+  }
+
+  // Clients target the first address (the VIP / the canonical server). One
+  // engine instance suffices across secret rotations: oracle solutions
+  // derive from the challenge bytes alone, exactly like a real brute-force
+  // solver.
+  std::vector<std::unique_ptr<sim::ClientAgent>> clients;
+  for (int i = 0; i < spec.workload.n_clients; ++i) {
+    sim::ClientAgentConfig ccfg;
+    ccfg.server_addr = kServerAddr;
+    ccfg.server_port = kServerPort;
+    ccfg.request_rate = spec.workload.request_rate;
+    ccfg.request_bytes = spec.workload.request_bytes;
+    ccfg.response_bytes = spec.workload.response_bytes;
+    ccfg.solve_puzzles = spec.workload.solve_puzzles;
+    ccfg.engine = engine;
+    ccfg.cpu = spec.workload.cpu;
+    if (spec.pow == PowKind::kMemoryBound) {
+      ccfg.solve_ops_rate = spec.workload.cpu.mem_rate;
+    }
+    ccfg.max_pending_solves = spec.workload.max_pending_solves;
+    ccfg.response_timeout = spec.workload.response_timeout;
+    ccfg.tick_interval = spec.tick_interval;
+    ccfg.sample_interval = spec.sample_interval;
+    clients.push_back(std::make_unique<sim::ClientAgent>(
+        sim, *client_hosts[static_cast<std::size_t>(i)], ccfg,
+        seeds.next(Role::kClient, 0, static_cast<std::uint64_t>(i))));
+    clients.back()->start(spec.duration);
+  }
+
+  // Bots, one agent per group member. Every bot gets the full target list;
+  // which target a given slot aims at is the strategy's call.
+  std::vector<sim::AttackTarget> targets;
+  if (spec.fleet.enabled) {
+    targets.push_back({kServerAddr, kServerPort});
+  } else {
+    for (int i = 0; i < spec.servers.count; ++i) {
+      targets.push_back({server_addr(i), kServerPort});
+    }
+  }
+  std::vector<std::unique_ptr<sim::AttackerAgent>> bots;  // flat, group order
+  {
+    std::size_t host_idx = 0;
+    std::uint64_t group_idx = 0;
+    for (const AttackSpec& g : spec.attacks) {
+      offense::StrategySpec sspec = g.strategy;
+      sspec.slot_rate = g.rate;  // lets game-adaptive convert rates to odds
+      for (int i = 0; i < g.count; ++i, ++host_idx) {
+        sim::AttackerAgentConfig acfg;
+        acfg.targets = targets;
+        acfg.strategy = sspec.factory();
+        acfg.rate = g.rate;
+        acfg.attack_start = g.start.value_or(spec.attack_start);
+        acfg.attack_end = g.end.value_or(spec.attack_end);
+        acfg.engine = engine;
+        acfg.cpu = g.cpu;
+        if (spec.pow == PowKind::kMemoryBound) {
+          acfg.solve_ops_rate = g.cpu.mem_rate;
+        }
+        acfg.max_pending_solves = g.max_pending_solves;
+        acfg.max_inflight = g.max_inflight;
+        acfg.tick_interval = spec.tick_interval;
+        acfg.sample_interval = spec.sample_interval;
+        bots.push_back(std::make_unique<sim::AttackerAgent>(
+            sim, *bot_hosts[host_idx], acfg,
+            seeds.next(Role::kBot, group_idx,
+                       static_cast<std::uint64_t>(i))));
+        bots.back()->start(spec.duration);
+      }
+      ++group_idx;
+    }
+  }
+
+  sim.run_until(spec.duration);
+  if (spec.fleet.enabled) {
+    // Deschedule the periodic control-plane timers (idle sweep, rotation)
+    // instead of leaving beyond-horizon tombstones in the queue.
+    lb->stop();
+    directory->stop(sim);
+  }
+
+  Result result;
+  for (int i = 0; i < spec.servers.count; ++i) {
+    auto& agent = *servers[static_cast<std::size_t>(i)];
+    sim::ServerReport report = std::move(agent.report());
+    report.counters = agent.listener().counters();
+    report.policy = agent.listener().policy_name();
+    report.final_difficulty_m = agent.listener().config().difficulty.m;
+    result.cluster += report.counters;
+    result.servers.push_back(std::move(report));
+    if (lb != nullptr) result.lb.backends.push_back(lb->stats(i));
+  }
+  if (lb != nullptr) {
+    result.lb.no_backend_drops = lb->no_backend_drops();
+    result.lb.failover_evictions = lb->failover_evictions();
+  }
+  for (auto& c : clients) result.clients.push_back(std::move(c->report()));
+  {
+    std::size_t bot = 0;
+    for (const AttackSpec& g : spec.attacks) {
+      AttackGroupReport group;
+      group.name = g.label();
+      for (int i = 0; i < g.count; ++i, ++bot) {
+        group.bots.push_back(std::move(bots[bot]->report()));
+      }
+      result.groups.push_back(std::move(group));
+    }
+  }
+  if (directory) result.secret_rotations = directory->rotations();
+  if (replay_cache) result.replay_cache_hits = replay_cache->hits();
+  result.events_processed = sim.events_processed();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+}  // namespace tcpz::scenario

@@ -1,0 +1,239 @@
+// The unified declarative scenario engine.
+//
+// A scenario::Spec is a complete, value-type description of one experiment:
+// topology (one server, an addressable multi-server group, or a
+// load-balanced fleet sharing a rotating secret), the legitimate workload,
+// any number of attack groups (each with its own offense::StrategySpec,
+// emission rate, CpuSpec and attack window — heterogeneous botnets are just
+// a vector), per-server defense::PolicySpecs, and a timeline of replica
+// health events. scenario::run() executes it on the Fig. 16 network and
+// returns every metric the paper's figures need.
+//
+// This engine subsumes the two near-duplicate drivers that grew side by
+// side (sim::run_scenario and fleet::run_fleet_scenario); both survive only
+// as thin shims that translate their legacy config structs into a Spec.
+// The shims request SeedMode::kLegacySequential, which reproduces the old
+// engines' agent seeding draw-for-draw — fixed-seed legacy scenarios are
+// byte-for-byte identical to the pre-refactor implementation (pinned by
+// tests/scenario_trace_test.cpp). Native specs default to
+// SeedMode::kDerivedStreams: every agent's RNG derives via
+// Rng::derive_seed from (spec seed, agent id) where the id packs (role,
+// group position, index), so growing a group or appending a new one never
+// perturbs any existing agent's stream. (Group ids are positional:
+// removing or reordering *earlier* groups renumbers the later ones — and
+// shifts their bots' 10.3.0.x addresses — so only append-style edits are
+// trace-neutral.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "defense/spec.hpp"
+#include "fleet/load_balancer.hpp"
+#include "offense/spec.hpp"
+#include "puzzle/types.hpp"
+#include "sim/cpu.hpp"
+#include "sim/metrics.hpp"
+#include "tcp/counters.hpp"
+#include "util/time.hpp"
+
+namespace tcpz::scenario {
+
+/// Which resource the puzzle burns: CPU hashing (the paper's scheme) or
+/// random memory accesses (§7's Abadi-style alternative — memory latency is
+/// far more uniform across device classes than compute throughput).
+enum class PowKind : std::uint8_t { kCpuBound, kMemoryBound };
+
+/// How per-agent RNG streams are seeded (see the header comment).
+enum class SeedMode : std::uint8_t { kDerivedStreams, kLegacySequential };
+
+/// The Fig. 16 network: three fully connected backbone routers, the
+/// server(s) behind r1, clients and bots split across r2/r3.
+struct NetworkSpec {
+  double backbone_bps = 1e9;
+  double server_link_bps = 1e9;
+  double host_link_bps = 100e6;
+  SimTime link_delay = SimTime::microseconds(500);
+};
+
+/// Legitimate open-loop workload (§6 defaults; response size chosen to
+/// reproduce the ~16 Mbps/client nominal throughput of Figs. 7-8).
+struct WorkloadSpec {
+  int n_clients = 15;
+  double request_rate = 20.0;
+  std::uint32_t request_bytes = 200;
+  std::uint32_t response_bytes = 100'000;
+  bool solve_puzzles = true;
+  sim::CpuSpec cpu{351'575.0, 4, 1};
+  int max_pending_solves = 4;
+  SimTime response_timeout = SimTime::seconds(10);
+};
+
+/// One homogeneous group of bots. A mixed heterogeneous botnet — IoT-class
+/// solvers next to Xeon-class spray bots, say — is a vector of these.
+struct AttackSpec {
+  /// Label for per-group reporting; defaults to the strategy kind's name.
+  std::string name;
+  int count = 10;
+  double rate = 500.0;  ///< per-bot emission slots per second
+  offense::StrategySpec strategy = offense::StrategySpec::conn_flood();
+  sim::CpuSpec cpu{351'575.0, 2, 1};
+  int max_pending_solves = 6;
+  int max_inflight = 250;
+  /// Per-group attack window; defaults to the spec-level window (staggered
+  /// or rolling multi-wave attacks set these explicitly).
+  std::optional<SimTime> start;
+  std::optional<SimTime> end;
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// The protected service: one server, `count` independently addressable
+/// servers (10.1.0.1+i — the multi-target strategies spread across them),
+/// or a fleet behind an L4 balancer when FleetSpec::enabled.
+struct ServerSpec {
+  int count = 1;
+  /// Defense per server: empty = opportunistic puzzles everywhere; one
+  /// entry = that policy everywhere; otherwise exactly one per server.
+  std::vector<defense::PolicySpec> policies;
+  puzzle::Difficulty difficulty{2, 17};  ///< the Nash difficulty of §4.4
+  /// Linux-style asymmetry: a large SYN backlog and a smaller accept
+  /// backlog (see sim::ScenarioConfig for the Fig. 11 reading).
+  std::size_t listen_backlog = 4096;
+  std::size_t accept_backlog = 1024;
+  double service_rate = 1100.0;  ///< µ from the Fig. 3b stress test
+  int n_workers = 1024;
+  sim::CpuSpec cpu{10'800'000.0, 12, 1};
+  SimTime app_idle_timeout = SimTime::seconds(5);
+  std::uint32_t puzzle_expiry_ms = 4000;
+  std::uint8_t sol_len = 4;
+};
+
+/// Load-balanced fleet topology: replicas share (and rotate) the puzzle
+/// secret through a SecretDirectory behind a DSR-style L4 balancer.
+struct FleetSpec {
+  bool enabled = false;
+  fleet::BalancePolicy balance = fleet::BalancePolicy::kFiveTupleHash;
+  /// Secret rotation cadence; zero keeps the paper's static secret.
+  SimTime rotation_interval = SimTime::zero();
+  SimTime rotation_overlap = SimTime::seconds(8);
+  bool shared_replay_cache = true;
+  /// Split the server capacity across replicas (apples-to-apples sharding)
+  /// or give every replica the full ServerSpec capacity (scale-out).
+  bool divide_capacity = true;
+  double lb_uplink_bps = 10e9;
+  SimTime lb_flow_idle_timeout = SimTime::seconds(30);
+};
+
+/// A server health transition at a point in simulated time (fleet only; a
+/// down replica is partitioned at the balancer, not rebooted).
+struct TimelineEvent {
+  SimTime at;
+  int server = 0;
+  bool up = false;
+};
+
+struct Spec {
+  std::uint64_t seed = 42;
+  SeedMode seeding = SeedMode::kDerivedStreams;
+
+  // Timeline.
+  SimTime duration = SimTime::seconds(600);
+  SimTime attack_start = SimTime::seconds(120);
+  SimTime attack_end = SimTime::seconds(480);
+
+  NetworkSpec net;
+  WorkloadSpec workload;
+  ServerSpec servers;
+  FleetSpec fleet;
+  std::vector<AttackSpec> attacks;
+  std::vector<TimelineEvent> events;
+
+  PowKind pow = PowKind::kCpuBound;
+  SimTime tick_interval = SimTime::milliseconds(100);
+  SimTime sample_interval = SimTime::milliseconds(250);
+
+  /// Same rates and shapes on a short timeline: 120 s run, attack 30-80 s —
+  /// kept shorter than the default protection hold (see
+  /// sim::ScenarioConfig::scaled).
+  [[nodiscard]] Spec scaled() const;
+
+  /// The defense spec server i runs (resolves the policies vector rules).
+  [[nodiscard]] defense::PolicySpec server_policy(int i) const;
+
+  [[nodiscard]] std::size_t attack_start_bin() const {
+    return static_cast<std::size_t>(attack_start.nanos() / 1'000'000'000);
+  }
+  [[nodiscard]] std::size_t attack_end_bin() const {
+    return static_cast<std::size_t>(attack_end.nanos() / 1'000'000'000);
+  }
+  [[nodiscard]] std::size_t duration_bins() const {
+    return static_cast<std::size_t>(duration.nanos() / 1'000'000'000);
+  }
+};
+
+/// Balancer-side statistics (zeroed for non-fleet topologies).
+struct LbReport {
+  std::vector<fleet::BackendStats> backends;
+  std::uint64_t no_backend_drops = 0;
+  /// Tracked flows evicted by backend failures.
+  std::uint64_t failover_evictions = 0;
+};
+
+/// One attack group's per-bot reports, in spec order.
+struct AttackGroupReport {
+  std::string name;
+  std::vector<sim::HostReport> bots;
+
+  /// Attack rate actually emitted by this group (Figs. 13a/14a).
+  [[nodiscard]] double measured_rate(std::size_t from, std::size_t to) const;
+  [[nodiscard]] std::uint64_t total_established() const;
+  [[nodiscard]] std::uint64_t total_attempts() const;
+};
+
+struct Result {
+  std::vector<sim::ServerReport> servers;
+  std::vector<sim::HostReport> clients;
+  std::vector<AttackGroupReport> groups;
+  LbReport lb;
+  tcp::ListenerCounters cluster;  ///< summed over servers
+  std::uint64_t secret_rotations = 0;
+  std::uint64_t replay_cache_hits = 0;
+  std::uint64_t events_processed = 0;
+  double wall_seconds = 0;
+
+  /// The single protected server of the classic §6 scenarios.
+  [[nodiscard]] const sim::ServerReport& server() const { return servers[0]; }
+
+  // Aggregates over all clients.
+  [[nodiscard]] double client_rx_mbps(std::size_t from, std::size_t to) const;
+  [[nodiscard]] double client_success_ratio() const;
+  /// Percentage of client wire attempts in bins [from, to) that completed a
+  /// request, excluding attempts the local solver refused before any packet
+  /// was sent — the paper's "% of connections established" (Figs. 13b, 15).
+  [[nodiscard]] double client_wire_success_pct(std::size_t from,
+                                               std::size_t to) const;
+  /// Same without the refusal exclusion (raw completions / attempts).
+  [[nodiscard]] double client_success_pct(std::size_t from,
+                                          std::size_t to) const;
+  [[nodiscard]] double mean_client_cpu(SimTime from, SimTime to) const;
+
+  // Aggregates over all bots.
+  [[nodiscard]] double mean_bot_cpu(SimTime from, SimTime to) const;
+  /// Attacker SYN/attempt rate actually emitted, summed over every group.
+  [[nodiscard]] double bot_measured_rate(std::size_t from,
+                                         std::size_t to) const;
+
+  /// Flood leakage: attacker connections established per second over bins
+  /// [from, to), cluster-wide / per server.
+  [[nodiscard]] double attacker_cps(std::size_t from, std::size_t to) const;
+  [[nodiscard]] double server_attacker_cps(std::size_t server,
+                                           std::size_t from,
+                                           std::size_t to) const;
+};
+
+[[nodiscard]] Result run(const Spec& spec);
+
+}  // namespace tcpz::scenario

@@ -1,0 +1,27 @@
+// The legacy three-value attack enum of the paper's evaluation. Since the
+// offense::AttackStrategy layer it is nothing more than a name for three
+// canonical strategy specs (offense::StrategySpec::from_type) — the attacker
+// agent itself never branches on it. Kept dependency-free so both sim/ and
+// offense/ can include it.
+#pragma once
+
+#include <cstdint>
+
+namespace tcpz::sim {
+
+enum class AttackType : std::uint8_t {
+  kSynFlood,
+  kConnFlood,
+  kBogusSolutionFlood,
+};
+
+[[nodiscard]] constexpr const char* to_string(AttackType t) {
+  switch (t) {
+    case AttackType::kSynFlood: return "syn-flood";
+    case AttackType::kConnFlood: return "conn-flood";
+    case AttackType::kBogusSolutionFlood: return "bogus-solution-flood";
+  }
+  return "unknown";
+}
+
+}  // namespace tcpz::sim

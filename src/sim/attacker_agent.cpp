@@ -2,18 +2,33 @@
 
 namespace tcpz::sim {
 
-const char* to_string(AttackType t) {
-  switch (t) {
-    case AttackType::kSynFlood: return "syn-flood";
-    case AttackType::kConnFlood: return "conn-flood";
-    case AttackType::kBogusSolutionFlood: return "bogus-solution-flood";
-  }
-  return "unknown";
-}
-
 AttackerAgent::AttackerAgent(net::Simulator& sim, net::Host& host,
                              AttackerAgentConfig cfg, std::uint64_t seed)
-    : sim_(sim), host_(host), cfg_(std::move(cfg)), cpu_(cfg_.cpu), rng_(seed) {}
+    : sim_(sim), host_(host), cfg_(std::move(cfg)), cpu_(cfg_.cpu), rng_(seed) {
+  if (!cfg_.strategy) {
+    throw std::invalid_argument("attacker: a strategy factory is required");
+  }
+  if (cfg_.targets.empty()) {
+    throw std::invalid_argument("attacker: at least one target is required");
+  }
+  strategy_ = cfg_.strategy();
+}
+
+offense::BotView AttackerAgent::view(SimTime now) {
+  offense::BotView v;
+  v.now = now;
+  v.attack_start = cfg_.attack_start;
+  v.attack_end = cfg_.attack_end;
+  v.inflight = attempts_.size();
+  v.max_inflight = cfg_.max_inflight;
+  v.pending_solves = pending_solves_;
+  v.attempt_timeout = cfg_.attempt_timeout;
+  v.has_engine = static_cast<bool>(cfg_.engine);
+  v.n_targets = cfg_.targets.size();
+  v.cpu = &cpu_;
+  v.rng = &rng_;
+  return v;
+}
 
 void AttackerAgent::start(SimTime until) {
   until_ = until;
@@ -36,28 +51,35 @@ void AttackerAgent::send_all(const std::vector<tcp::Segment>& segs) {
 void AttackerAgent::flood_loop() {
   const SimTime now = sim_.now();
   if (now >= cfg_.attack_end || now >= until_) return;
-  // Constant-rate emission (hping3/nping "--rate" behaviour).
+  // Constant-rate emission (hping3/nping "--rate" behaviour); the strategy
+  // decides what each slot carries.
   sim_.schedule_in(SimTime::from_seconds(1.0 / cfg_.rate), [this] {
     const SimTime now2 = sim_.now();
     if (now2 < cfg_.attack_end && now2 < until_) {
-      if (cfg_.type == AttackType::kSynFlood) {
-        send_spoofed_syn(now2);
-      } else {
-        launch_attempt(now2);
+      const offense::SlotDecision d = strategy_->on_slot(view(now2));
+      const std::size_t target = d.target < cfg_.targets.size() ? d.target : 0;
+      switch (d.action) {
+        case offense::SlotAction::kSpoofedSyn:
+          send_spoofed_syn(now2, target);
+          break;
+        case offense::SlotAction::kConnect:
+          launch_attempt(now2, d.patched, target);
+          break;
+        case offense::SlotAction::kIdle: break;
       }
     }
     flood_loop();
   });
 }
 
-void AttackerAgent::send_spoofed_syn(SimTime now) {
+void AttackerAgent::send_spoofed_syn(SimTime now, std::size_t target) {
   tcp::Segment syn;
   // Random routable-looking but unowned source (100.64/10 space).
   syn.saddr = tcp::ipv4(100, 64, 0, 0) |
               static_cast<std::uint32_t>(rng_.uniform_u64(1u << 22));
   syn.sport = static_cast<std::uint16_t>(1024 + rng_.uniform_u64(60000));
-  syn.daddr = cfg_.server_addr;
-  syn.dport = cfg_.server_port;
+  syn.daddr = cfg_.targets[target].addr;
+  syn.dport = cfg_.targets[target].port;
   syn.seq = static_cast<std::uint32_t>(rng_.next());
   syn.flags = tcp::kSyn;
   syn.options.mss = 1460;
@@ -66,7 +88,8 @@ void AttackerAgent::send_spoofed_syn(SimTime now) {
   send_all({syn});
 }
 
-void AttackerAgent::launch_attempt(SimTime now) {
+void AttackerAgent::launch_attempt(SimTime now, bool patched,
+                                   std::size_t target) {
   if (static_cast<int>(attempts_.size()) >= cfg_.max_inflight) return;
   std::uint16_t sport = 0;
   for (int tries = 0; tries < 64; ++tries) {
@@ -82,12 +105,12 @@ void AttackerAgent::launch_attempt(SimTime now) {
   tcp::ConnectorConfig ccfg;
   ccfg.local_addr = host_.addr();
   ccfg.local_port = sport;
-  ccfg.remote_addr = cfg_.server_addr;
-  ccfg.remote_port = cfg_.server_port;
-  // A bogus-solution flooder looks like a legacy stack to the Connector; we
-  // intercept the challenge ourselves in on_segment.
-  ccfg.solve_puzzles =
-      cfg_.type == AttackType::kConnFlood && cfg_.solve_puzzles;
+  ccfg.remote_addr = cfg_.targets[target].addr;
+  ccfg.remote_port = cfg_.targets[target].port;
+  // A legacy-stack attempt (unpatched bot, or a bogus-solution flooder that
+  // intercepts the challenge itself in on_segment) looks like an unpatched
+  // kernel to the Connector.
+  ccfg.solve_puzzles = patched;
   ccfg.max_syn_retries = 0;  // flood tools do not retransmit
 
   auto [it, inserted] = attempts_.emplace(
@@ -141,13 +164,16 @@ void AttackerAgent::apply(SimTime now, std::uint16_t sport,
     ++report_.challenges_seen;
     // The in-kernel solver is serial; the flood tool abandons an attempt
     // (closing its socket and thereby aborting any queued solve) after
-    // attempt_timeout. A solve is therefore only worth starting if a lane
-    // frees up before the tool gives up — this is what pins the per-bot
-    // completion rate to its solver throughput regardless of the flood rate
-    // (Figs. 13-14).
-    if (!cfg_.engine ||
+    // attempt_timeout. A solve is therefore only worth starting if the
+    // strategy wants to pay AND a lane frees up before the tool gives up —
+    // the latter is what pins the per-bot completion rate to its solver
+    // throughput regardless of the flood rate (Figs. 13-14).
+    const offense::ChallengeAction ca =
+        strategy_->on_challenge(view(now), *out.solve);
+    if (ca == offense::ChallengeAction::kAbandon || !cfg_.engine ||
         cpu_.earliest_lane_free() > now + cfg_.attempt_timeout) {
       ++report_.solves_refused;
+      strategy_->on_outcome(view(now), offense::Outcome::kSolveRefused);
       // The attempt keeps holding its in-flight slot until the tool times
       // it out (tick_loop), throttling the measured attack rate.
       return;
@@ -178,6 +204,7 @@ void AttackerAgent::apply(SimTime now, std::uint16_t sport,
     report_.established.add(now, 1.0);
     ++report_.total_established;
     erase_attempt(it);
+    strategy_->on_outcome(view(now), offense::Outcome::kEstablished);
     return;
   }
 
@@ -186,6 +213,10 @@ void AttackerAgent::apply(SimTime now, std::uint16_t sport,
     report_.failures.add(now, 1.0);
     ++report_.total_failures;
     erase_attempt(it);
+    strategy_->on_outcome(view(now),
+                          out.reason == tcp::ConnectFail::kReset
+                              ? offense::Outcome::kReset
+                              : offense::Outcome::kTimeout);
   }
 }
 
@@ -197,18 +228,20 @@ void AttackerAgent::erase_attempt(AttemptMap::iterator it) {
 void AttackerAgent::on_segment(SimTime now, const tcp::Segment& seg) {
   report_.rx_bytes.add(now, seg.wire_size());
   cpu_.charge_seconds(cfg_.per_packet_cpu_sec);
-  if (cfg_.type == AttackType::kSynFlood) return;  // backscatter is ignored
+  const offense::RxAction rx = strategy_->on_rx(view(now), seg);
+  if (rx == offense::RxAction::kIgnore) return;  // backscatter is ignored
 
   const auto it = attempts_.find(seg.dport);
   if (it == attempts_.end()) return;
 
-  if (cfg_.type == AttackType::kBogusSolutionFlood && seg.is_syn_ack() &&
+  if (rx == offense::RxAction::kBogusAck && seg.is_syn_ack() &&
       seg.options.challenge) {
     ++report_.challenges_seen;
     send_all({make_bogus_solution_ack(now, seg)});
     report_.established.add(now, 1.0);  // it *believes* it connected
     ++report_.total_established;
     erase_attempt(it);
+    strategy_->on_outcome(view(now), offense::Outcome::kEstablished);
     return;
   }
 
@@ -238,6 +271,7 @@ void AttackerAgent::tick_loop() {
       // Descheduling the admitted solve models the tool closing its socket:
       // the queued search is abandoned rather than firing as a tombstone.
       erase_attempt(attempts_.find(sport));
+      strategy_->on_outcome(view(t), offense::Outcome::kTimeout);
     }
     if (t < cfg_.attack_end) tick_loop();
   });

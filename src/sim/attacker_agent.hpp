@@ -1,24 +1,23 @@
-// Botnet members. Three attack behaviours from the paper's evaluation plus
-// the solution-flood of §7:
-//
-//  * SYN flood (hping3-style): SYNs from spoofed random sources at a
-//    constant rate; never completes a handshake.
-//  * Connection flood (nping-style): real source address, completes the
-//    three-way handshake. With a patched kernel the bot transparently solves
-//    challenges (serially, through its CPU model); an unpatched bot answers
-//    with a plain ACK and believes it connected. A bounded number of
-//    in-flight attempts models the attack tool's finite concurrency.
-//  * Bogus-solution flood: completes the exchange but answers challenges
-//    with garbage bytes instantly, forcing the server to spend verification
-//    work (§7 "solution floods").
+// Botnet members. The agent owns the mechanics every attack shares — the
+// constant-rate emission loop, the bounded in-flight attempt table, the
+// serial in-kernel solver admission, timers, the CPU model and metric
+// accounting — and consults a pluggable offense::AttackStrategy at each
+// decision point (emission slot, received segment, challenge, verdict).
+// The paper's three behaviours (SYN flood, connection flood, bogus-solution
+// flood) and the extended attacker models (pulsed, game-adaptive,
+// multi-target) all live in src/offense/; the agent itself never branches
+// on what kind of attack it is running.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <unordered_map>
+#include <vector>
 
 #include "net/node.hpp"
 #include "net/simulator.hpp"
+#include "offense/strategy.hpp"
 #include "puzzle/engine.hpp"
 #include "sim/cpu.hpp"
 #include "sim/metrics.hpp"
@@ -27,23 +26,22 @@
 
 namespace tcpz::sim {
 
-enum class AttackType : std::uint8_t {
-  kSynFlood,
-  kConnFlood,
-  kBogusSolutionFlood,
+/// One server a bot can aim at. Most scenarios have exactly one; the
+/// multi-server topology hands every bot the full replica list so
+/// fleet-aware strategies can spread their attempts.
+struct AttackTarget {
+  std::uint32_t addr = 0;
+  std::uint16_t port = 80;
 };
 
-[[nodiscard]] const char* to_string(AttackType t);
-
 struct AttackerAgentConfig {
-  std::uint32_t server_addr = 0;
-  std::uint16_t server_port = 80;
-  AttackType type = AttackType::kConnFlood;
+  /// Servers this bot can attack; strategies pick per-slot by index.
+  std::vector<AttackTarget> targets;
+  /// The behaviour behind the flood (required; see offense::StrategySpec).
+  offense::StrategyFactory strategy;
   double rate = 500.0;  ///< packets (connection attempts) per second
   SimTime attack_start = SimTime::seconds(120);
   SimTime attack_end = SimTime::seconds(480);
-  /// Patched kernel? Patched bots solve challenges; unpatched send plain ACKs.
-  bool solve_puzzles = true;
   std::shared_ptr<const puzzle::PuzzleEngine> engine;
   /// Commodity zombie: equal-or-better hash rate than clients (§6), fewer
   /// spare cores.
@@ -73,6 +71,9 @@ class AttackerAgent {
   [[nodiscard]] HostReport& report() { return report_; }
   [[nodiscard]] const HostReport& report() const { return report_; }
   [[nodiscard]] CpuModel& cpu() { return cpu_; }
+  [[nodiscard]] const offense::AttackStrategy& strategy() const {
+    return *strategy_;
+  }
 
  private:
   struct Attempt {
@@ -85,12 +86,13 @@ class AttackerAgent {
 
   using AttemptMap = std::unordered_map<std::uint16_t, Attempt>;
 
+  [[nodiscard]] offense::BotView view(SimTime now);
   void on_segment(SimTime now, const tcp::Segment& seg);
   void flood_loop();
   void tick_loop();
   void sample_loop();
-  void launch_attempt(SimTime now);
-  void send_spoofed_syn(SimTime now);
+  void launch_attempt(SimTime now, bool patched, std::size_t target);
+  void send_spoofed_syn(SimTime now, std::size_t target);
   void apply(SimTime now, std::uint16_t sport, tcp::ConnectorOutput out);
   void send_all(const std::vector<tcp::Segment>& segs);
   /// Erases an attempt, descheduling any in-flight solve completion.
@@ -105,6 +107,7 @@ class AttackerAgent {
   Rng rng_;
   HostReport report_;
   SimTime until_;
+  std::unique_ptr<offense::AttackStrategy> strategy_;
 
   AttemptMap attempts_;
   std::uint16_t next_sport_ = 1024;

@@ -1,38 +1,17 @@
 #include "sim/scenario.hpp"
 
-#include <chrono>
-#include <memory>
+#include <utility>
 
-#include "crypto/secret.hpp"
-#include "net/topology.hpp"
+#include "offense/spec.hpp"
+#include "scenario/spec.hpp"
 
 namespace tcpz::sim {
-namespace {
-
-constexpr std::uint32_t kServerAddr = tcp::ipv4(10, 1, 0, 1);
-constexpr std::uint16_t kServerPort = 80;
-
-std::uint32_t client_addr(int i) {
-  return tcp::ipv4(10, 2, 0, 1) + static_cast<std::uint32_t>(i);
-}
-std::uint32_t bot_addr(int i) {
-  return tcp::ipv4(10, 3, 0, 1) + static_cast<std::uint32_t>(i);
-}
-
-bool is_bot_addr(std::uint32_t addr) {
-  return (addr & 0xffff0000u) == tcp::ipv4(10, 3, 0, 0);
-}
-
-}  // namespace
 
 defense::PolicySpec ScenarioConfig::policy_spec() const {
   if (policy) return *policy;
-  defense::PolicySpec s = defense::PolicySpec::from_mode(defense);
-  s.always_challenge = always_challenge;
-  s.protection_hold = protection_hold;
-  s.protection_engage_water = protection_engage_water;
-  s.adaptive = adaptive;
-  return s;
+  return defense::PolicySpec::from_legacy(defense, always_challenge,
+                                          protection_hold,
+                                          protection_engage_water, adaptive);
 }
 
 ScenarioConfig ScenarioConfig::scaled() const {
@@ -45,6 +24,44 @@ ScenarioConfig ScenarioConfig::scaled() const {
   c.attack_start = SimTime::seconds(30);
   c.attack_end = SimTime::seconds(80);
   return c;
+}
+
+scenario::Spec ScenarioConfig::to_spec() const {
+  scenario::Spec s;
+  s.seed = seed;
+  // Reproduce the pre-unification engine's agent seeding draw-for-draw.
+  s.seeding = scenario::SeedMode::kLegacySequential;
+  s.duration = duration;
+  s.attack_start = attack_start;
+  s.attack_end = attack_end;
+  s.net = {backbone_bps, server_link_bps, host_link_bps, link_delay};
+  s.workload = {n_clients,     client_rate,
+                request_bytes, response_bytes,
+                clients_solve, client_cpu,
+                client_max_pending_solves, client_response_timeout};
+  s.servers.count = 1;
+  s.servers.policies = {policy_spec()};
+  s.servers.difficulty = difficulty;
+  s.servers.listen_backlog = listen_backlog;
+  s.servers.accept_backlog = accept_backlog;
+  s.servers.service_rate = service_rate;
+  s.servers.n_workers = n_workers;
+  s.servers.cpu = server_cpu;
+  s.servers.app_idle_timeout = app_idle_timeout;
+  s.servers.puzzle_expiry_ms = puzzle_expiry_ms;
+  s.servers.sol_len = sol_len;
+  scenario::AttackSpec a;
+  a.count = n_bots;
+  a.rate = bot_rate;
+  a.strategy = offense::StrategySpec::from_type(attack, bots_solve);
+  a.cpu = bot_cpu;
+  a.max_pending_solves = bot_max_pending_solves;
+  a.max_inflight = bot_max_inflight;
+  s.attacks = {std::move(a)};
+  s.pow = pow;
+  s.tick_interval = tick_interval;
+  s.sample_interval = sample_interval;
+  return s;
 }
 
 double ScenarioResult::client_rx_mbps(std::size_t from, std::size_t to) const {
@@ -84,132 +101,16 @@ double ScenarioResult::bot_measured_rate(std::size_t from,
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& cfg) {
-  const auto wall_start = std::chrono::steady_clock::now();
-
-  net::Simulator sim;
-  net::Topology topo(sim);
-  Rng seeder(cfg.seed);
-
-  // Fig. 16: three fully connected backbone routers; server behind r1.
-  net::Router* r1 = topo.add_router("r1");
-  net::Router* r2 = topo.add_router("r2");
-  net::Router* r3 = topo.add_router("r3");
-  const net::LinkSpec backbone{cfg.backbone_bps, cfg.link_delay, 4u << 20};
-  topo.connect(r1, r2, backbone);
-  topo.connect(r2, r3, backbone);
-  topo.connect(r1, r3, backbone);
-
-  net::Host* server_host = topo.add_host("server", kServerAddr);
-  topo.connect(server_host, r1, {cfg.server_link_bps, cfg.link_delay, 4u << 20});
-
-  std::vector<net::Host*> client_hosts;
-  const net::LinkSpec host_link{cfg.host_link_bps, cfg.link_delay, 1u << 20};
-  for (int i = 0; i < cfg.n_clients; ++i) {
-    net::Host* h = topo.add_host("client" + std::to_string(i), client_addr(i));
-    topo.connect(h, i % 2 == 0 ? r2 : r3, host_link);
-    client_hosts.push_back(h);
+  scenario::Result r = scenario::run(cfg.to_spec());
+  ScenarioResult out;
+  out.server = std::move(r.servers[0]);
+  out.clients = std::move(r.clients);
+  for (auto& g : r.groups) {
+    for (auto& b : g.bots) out.bots.push_back(std::move(b));
   }
-  std::vector<net::Host*> bot_hosts;
-  for (int i = 0; i < cfg.n_bots; ++i) {
-    net::Host* h = topo.add_host("bot" + std::to_string(i), bot_addr(i));
-    topo.connect(h, i % 2 == 0 ? r3 : r2, host_link);
-    bot_hosts.push_back(h);
-  }
-  topo.compute_routes();
-
-  // One shared oracle engine: the server verifies with the same secret the
-  // oracle derives "solutions" from (see DESIGN.md, Substitutions).
-  const crypto::SecretKey secret = crypto::SecretKey::from_seed(cfg.seed);
-  puzzle::EngineConfig ecfg;
-  ecfg.sol_len = cfg.sol_len;
-  ecfg.expiry_ms = cfg.puzzle_expiry_ms;
-  auto engine = std::make_shared<puzzle::OraclePuzzleEngine>(secret, ecfg);
-
-  // Server.
-  const defense::PolicySpec spec = cfg.policy_spec();
-  ServerAgentConfig scfg;
-  scfg.listener.local_addr = kServerAddr;
-  scfg.listener.local_port = kServerPort;
-  scfg.listener.listen_backlog = cfg.listen_backlog;
-  scfg.listener.accept_backlog = cfg.accept_backlog;
-  scfg.listener.difficulty = cfg.difficulty;
-  scfg.listener.policy = spec.factory();
-  scfg.service_rate = cfg.service_rate;
-  scfg.n_workers = cfg.n_workers;
-  scfg.response_bytes = cfg.response_bytes;
-  scfg.app_idle_timeout = cfg.app_idle_timeout;
-  scfg.cpu = cfg.server_cpu;
-  scfg.tick_interval = cfg.tick_interval;
-  scfg.sample_interval = cfg.sample_interval;
-  scfg.is_attacker = is_bot_addr;
-  ServerAgent server(sim, *server_host, scfg, secret, seeder.next(),
-                     spec.wants_engine() ? engine : nullptr);
-  server.start(cfg.duration);
-
-  // Clients.
-  std::vector<std::unique_ptr<ClientAgent>> clients;
-  for (int i = 0; i < cfg.n_clients; ++i) {
-    ClientAgentConfig ccfg;
-    ccfg.server_addr = kServerAddr;
-    ccfg.server_port = kServerPort;
-    ccfg.request_rate = cfg.client_rate;
-    ccfg.request_bytes = cfg.request_bytes;
-    ccfg.response_bytes = cfg.response_bytes;
-    ccfg.solve_puzzles = cfg.clients_solve;
-    ccfg.engine = engine;
-    ccfg.cpu = cfg.client_cpu;
-    if (cfg.pow == PowKind::kMemoryBound) {
-      ccfg.solve_ops_rate = cfg.client_cpu.mem_rate;
-    }
-    ccfg.max_pending_solves = cfg.client_max_pending_solves;
-    ccfg.response_timeout = cfg.client_response_timeout;
-    ccfg.tick_interval = cfg.tick_interval;
-    ccfg.sample_interval = cfg.sample_interval;
-    clients.push_back(std::make_unique<ClientAgent>(sim, *client_hosts[i], ccfg,
-                                                    seeder.next()));
-    clients.back()->start(cfg.duration);
-  }
-
-  // Bots.
-  std::vector<std::unique_ptr<AttackerAgent>> bots;
-  for (int i = 0; i < cfg.n_bots; ++i) {
-    AttackerAgentConfig acfg;
-    acfg.server_addr = kServerAddr;
-    acfg.server_port = kServerPort;
-    acfg.type = cfg.attack;
-    acfg.rate = cfg.bot_rate;
-    acfg.attack_start = cfg.attack_start;
-    acfg.attack_end = cfg.attack_end;
-    acfg.solve_puzzles = cfg.bots_solve;
-    acfg.engine = engine;
-    acfg.cpu = cfg.bot_cpu;
-    if (cfg.pow == PowKind::kMemoryBound) {
-      acfg.solve_ops_rate = cfg.bot_cpu.mem_rate;
-    }
-    acfg.max_pending_solves = cfg.bot_max_pending_solves;
-    acfg.max_inflight = cfg.bot_max_inflight;
-    acfg.tick_interval = cfg.tick_interval;
-    acfg.sample_interval = cfg.sample_interval;
-    bots.push_back(std::make_unique<AttackerAgent>(sim, *bot_hosts[i], acfg,
-                                                   seeder.next()));
-    bots.back()->start(cfg.duration);
-  }
-
-  sim.run_until(cfg.duration);
-
-  ScenarioResult result;
-  result.server = std::move(server.report());
-  result.server.counters = server.listener().counters();
-  result.server.policy = server.listener().policy_name();
-  result.server.final_difficulty_m = server.listener().config().difficulty.m;
-  for (auto& c : clients) result.clients.push_back(std::move(c->report()));
-  for (auto& b : bots) result.bots.push_back(std::move(b->report()));
-  result.events_processed = sim.events_processed();
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
-  return result;
+  out.events_processed = r.events_processed;
+  out.wall_seconds = r.wall_seconds;
+  return out;
 }
 
 }  // namespace tcpz::sim

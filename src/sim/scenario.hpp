@@ -1,7 +1,12 @@
-// End-to-end experiment scenarios: the Fig. 16 DETER topology (three-router
-// backbone, server on a 1 Gbps link, clients and bots on 100 Mbps links),
+// Legacy single-server experiment scenarios: the Fig. 16 DETER topology,
 // the §6 workload (15 clients at 20 req/s, 10 bots at 500 pps, attack window
 // 120–480 s of a 600 s run), and the metric collection every figure needs.
+//
+// Since the unified scenario engine (src/scenario/), this header is a
+// compatibility shim: run_scenario translates a ScenarioConfig into a
+// scenario::Spec (via to_spec) and executes it there, reproducing the
+// original engine's traces byte-for-byte (tests/scenario_trace_test.cpp).
+// New code should build a scenario::Spec directly.
 //
 // `scaled()` shrinks the timeline (same rates, shorter windows) so the full
 // bench suite runs in minutes; `--full` on the benches restores paper scale.
@@ -16,6 +21,8 @@
 #include "core/adaptive.hpp"
 #include "defense/spec.hpp"
 #include "puzzle/types.hpp"
+#include "scenario/spec.hpp"
+#include "sim/attack_type.hpp"
 #include "sim/attacker_agent.hpp"
 #include "sim/client_agent.hpp"
 #include "sim/metrics.hpp"
@@ -24,10 +31,9 @@
 
 namespace tcpz::sim {
 
-/// Which resource the puzzle burns: CPU hashing (the paper's scheme) or
-/// random memory accesses (§7's Abadi-style alternative — memory latency is
-/// far more uniform across device classes than compute throughput).
-enum class PowKind : std::uint8_t { kCpuBound, kMemoryBound };
+/// Which resource the puzzle burns; see scenario::PowKind (kept under the
+/// old name for the legacy configs and benches).
+using PowKind = scenario::PowKind;
 
 struct ScenarioConfig {
   std::uint64_t seed = 42;
@@ -101,8 +107,12 @@ struct ScenarioConfig {
   [[nodiscard]] ScenarioConfig scaled() const;
 
   /// The defense spec this scenario runs: `policy` when set, otherwise the
-  /// legacy shim fields mapped through defense::PolicySpec::from_mode.
+  /// legacy shim fields mapped through defense::PolicySpec::from_legacy.
   [[nodiscard]] defense::PolicySpec policy_spec() const;
+
+  /// The equivalent declarative spec (legacy-sequential seeding, one attack
+  /// group, one server) — what run_scenario executes.
+  [[nodiscard]] scenario::Spec to_spec() const;
 
   [[nodiscard]] std::size_t attack_start_bin() const {
     return static_cast<std::size_t>(attack_start.nanos() / 1'000'000'000);

@@ -67,6 +67,18 @@ double Rng::normal(double mean, double stddev) {
   return mean + stddev * u * factor;
 }
 
+std::uint64_t Rng::derive_seed(std::uint64_t root_seed,
+                               std::uint64_t stream_id) {
+  // One splitmix64 round per word: ids differing in a single bit land on
+  // decorrelated child seeds, and the mapping is a pure function of
+  // (root_seed, stream_id).
+  std::uint64_t x = root_seed;
+  const std::uint64_t a = splitmix64(x);
+  x ^= stream_id * 0x9e3779b97f4a7c15ull;
+  const std::uint64_t b = splitmix64(x);
+  return a ^ (b << 1) ^ 0xd1342543de82ef95ull;
+}
+
 Rng Rng::split() {
   // Use two draws from this stream to seed the child; the child then runs an
   // independent splitmix-initialised state.

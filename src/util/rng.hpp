@@ -84,6 +84,20 @@ class Rng {
   /// be added or removed without perturbing each other's streams.
   Rng split();
 
+  /// Derives a decorrelated child seed from a root seed and a *stable*
+  /// stream id (e.g. an agent's (role, group, index) packed into 64 bits).
+  /// Unlike drawing seeds sequentially from one seeder stream, the child
+  /// seed depends only on (root_seed, stream_id) — adding or removing an
+  /// agent can never perturb any other agent's stream.
+  [[nodiscard]] static std::uint64_t derive_seed(std::uint64_t root_seed,
+                                                 std::uint64_t stream_id);
+
+  /// Convenience: an Rng seeded with derive_seed(root_seed, stream_id).
+  [[nodiscard]] static Rng derive(std::uint64_t root_seed,
+                                  std::uint64_t stream_id) {
+    return Rng{derive_seed(root_seed, stream_id)};
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

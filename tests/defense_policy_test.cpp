@@ -10,6 +10,7 @@
 #include "defense/policies.hpp"
 #include "defense/spec.hpp"
 #include "puzzle/engine.hpp"
+#include "sim/scenario.hpp"
 #include "tcp/listener.hpp"
 
 namespace tcpz {
@@ -367,6 +368,48 @@ TEST_F(PolicyListenerTest, SetPolicySwitchesAtRuntimeAndValidatesEngine) {
   listener_->set_engine(engine_);
   listener_->set_policy(PolicySpec::hybrid().build());
   EXPECT_STREQ(listener_->policy_name(), "hybrid");
+}
+
+// The legacy-knob mapping is maintained in exactly one place
+// (PolicySpec::from_legacy); both scenario layers go through it.
+TEST(PolicySpecFromLegacy, MapsEveryKnobOnce) {
+  AdaptiveConfig actl;
+  actl.base = {2, 15};
+  const PolicySpec s = PolicySpec::from_legacy(
+      tcp::DefenseMode::kPuzzles, /*always_challenge=*/true,
+      SimTime::seconds(12), /*engage_water=*/0.75, actl);
+  EXPECT_EQ(s.kind, PolicySpec::Kind::kPuzzles);
+  EXPECT_TRUE(s.always_challenge);
+  EXPECT_EQ(s.protection_hold, SimTime::seconds(12));
+  EXPECT_DOUBLE_EQ(s.protection_engage_water, 0.75);
+  ASSERT_TRUE(s.adaptive.has_value());
+  EXPECT_EQ(s.adaptive->base, (puzzle::Difficulty{2, 15}));
+
+  // The kind comes from from_mode — the enum names a canonical spec.
+  EXPECT_EQ(PolicySpec::from_legacy(tcp::DefenseMode::kNone, false,
+                                    SimTime::seconds(60), 1.0, std::nullopt)
+                .kind,
+            PolicySpec::Kind::kNone);
+  EXPECT_EQ(PolicySpec::from_legacy(tcp::DefenseMode::kSynCookies, false,
+                                    SimTime::seconds(60), 1.0, std::nullopt)
+                .kind,
+            PolicySpec::Kind::kSynCookies);
+}
+
+// sim::ScenarioConfig::policy_spec is nothing but from_legacy over the
+// config's shim fields (and the explicit spec short-circuits it).
+TEST(PolicySpecFromLegacy, ScenarioConfigShimGoesThroughIt) {
+  sim::ScenarioConfig cfg;
+  cfg.defense = tcp::DefenseMode::kPuzzles;
+  cfg.always_challenge = true;
+  cfg.protection_hold = SimTime::seconds(33);
+  cfg.protection_engage_water = 0.5;
+  EXPECT_EQ(cfg.policy_spec(),
+            PolicySpec::from_legacy(tcp::DefenseMode::kPuzzles, true,
+                                    SimTime::seconds(33), 0.5, std::nullopt));
+
+  cfg.policy = PolicySpec::hybrid();
+  EXPECT_EQ(cfg.policy_spec(), PolicySpec::hybrid());
 }
 
 }  // namespace

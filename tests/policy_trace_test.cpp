@@ -19,54 +19,13 @@
 
 #include "fleet/scenario.hpp"
 #include "sim/scenario.hpp"
+#include "trace_digest.hpp"
 
 namespace tcpz {
 namespace {
 
-std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (i * 8)) & 0xff;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-/// FNV-1a over every ListenerCounters field, in declaration order.
-std::uint64_t digest(const tcp::ListenerCounters& c) {
-  std::uint64_t h = 1469598103934665603ull;
-  h = fnv(h, c.syns_received);
-  h = fnv(h, c.synacks_sent);
-  h = fnv(h, c.plain_synacks);
-  h = fnv(h, c.challenges_sent);
-  h = fnv(h, c.cookies_sent);
-  h = fnv(h, c.synack_retx);
-  h = fnv(h, c.drops_listen_full);
-  h = fnv(h, c.acks_received);
-  h = fnv(h, c.solution_acks);
-  h = fnv(h, c.solutions_valid);
-  h = fnv(h, c.solutions_invalid);
-  h = fnv(h, c.solutions_expired);
-  h = fnv(h, c.solutions_bad_ackno);
-  h = fnv(h, c.solutions_duplicate);
-  h = fnv(h, c.acks_ignored_accept_full);
-  h = fnv(h, c.cookies_valid);
-  h = fnv(h, c.cookies_invalid);
-  h = fnv(h, c.cookie_drops_accept_full);
-  h = fnv(h, c.acks_pending_accept);
-  h = fnv(h, c.established_total);
-  h = fnv(h, c.established_queue);
-  h = fnv(h, c.established_cookie);
-  h = fnv(h, c.established_puzzle);
-  h = fnv(h, c.half_open_expired);
-  h = fnv(h, c.rsts_sent);
-  h = fnv(h, c.data_segments);
-  h = fnv(h, c.data_unknown_flow);
-  h = fnv(h, c.secret_rotations);
-  h = fnv(h, c.solutions_valid_prev_epoch);
-  h = fnv(h, c.solutions_replay_filtered);
-  h = fnv(h, c.crypto_hash_ops);
-  return h;
-}
+using tracedigest::digest;
+using tracedigest::fnv;
 
 /// The fixed-seed scaled §6 scenario (seed 42, 120 s, attack 30–80 s).
 sim::ScenarioConfig scaled_scenario(tcp::DefenseMode mode) {
@@ -97,7 +56,7 @@ fleet::FleetScenarioConfig fleet_scenario(tcp::DefenseMode mode) {
 }
 
 std::uint64_t fleet_replica_digest(const fleet::FleetResult& r) {
-  std::uint64_t h = 1469598103934665603ull;
+  std::uint64_t h = tracedigest::kFnvBasis;
   for (const auto& rep : r.replicas) h = fnv(h, digest(rep.counters));
   return h;
 }

@@ -1,0 +1,105 @@
+// Shared FNV-1a digest helpers for the golden-trace regression tests
+// (policy_trace_test, scenario_trace_test). A digest folds every field of a
+// result struct in declaration order, so "digest unchanged" means the run is
+// byte-for-byte identical as far as the struct can see.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "sim/metrics.hpp"
+#include "tcp/counters.hpp"
+
+namespace tcpz::tracedigest {
+
+inline std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv_d(std::uint64_t h, double v) {
+  return fnv(h, std::bit_cast<std::uint64_t>(v));
+}
+
+inline constexpr std::uint64_t kFnvBasis = 1469598103934665603ull;
+
+/// FNV-1a over every ListenerCounters field, in declaration order.
+inline std::uint64_t digest(const tcp::ListenerCounters& c) {
+  std::uint64_t h = kFnvBasis;
+  h = fnv(h, c.syns_received);
+  h = fnv(h, c.synacks_sent);
+  h = fnv(h, c.plain_synacks);
+  h = fnv(h, c.challenges_sent);
+  h = fnv(h, c.cookies_sent);
+  h = fnv(h, c.synack_retx);
+  h = fnv(h, c.drops_listen_full);
+  h = fnv(h, c.acks_received);
+  h = fnv(h, c.solution_acks);
+  h = fnv(h, c.solutions_valid);
+  h = fnv(h, c.solutions_invalid);
+  h = fnv(h, c.solutions_expired);
+  h = fnv(h, c.solutions_bad_ackno);
+  h = fnv(h, c.solutions_duplicate);
+  h = fnv(h, c.acks_ignored_accept_full);
+  h = fnv(h, c.cookies_valid);
+  h = fnv(h, c.cookies_invalid);
+  h = fnv(h, c.cookie_drops_accept_full);
+  h = fnv(h, c.acks_pending_accept);
+  h = fnv(h, c.established_total);
+  h = fnv(h, c.established_queue);
+  h = fnv(h, c.established_cookie);
+  h = fnv(h, c.established_puzzle);
+  h = fnv(h, c.half_open_expired);
+  h = fnv(h, c.rsts_sent);
+  h = fnv(h, c.data_segments);
+  h = fnv(h, c.data_unknown_flow);
+  h = fnv(h, c.secret_rotations);
+  h = fnv(h, c.solutions_valid_prev_epoch);
+  h = fnv(h, c.solutions_replay_filtered);
+  h = fnv(h, c.crypto_hash_ops);
+  return h;
+}
+
+inline std::uint64_t fold_series(std::uint64_t h, const TimeSeries& s) {
+  h = fnv(h, s.bins());
+  for (std::size_t i = 0; i < s.bins(); ++i) h = fnv_d(h, s.total(i));
+  return h;
+}
+
+inline std::uint64_t fold_gauge(std::uint64_t h, const GaugeSeries& g) {
+  h = fnv(h, g.points().size());
+  for (const auto& p : g.points()) {
+    h = fnv(h, static_cast<std::uint64_t>(p.t.nanos()));
+    h = fnv_d(h, p.value);
+  }
+  return h;
+}
+
+/// Every counter, every time-series bin, every CPU sample and the
+/// connection-time sample set of one client/bot report.
+inline std::uint64_t digest(const sim::HostReport& r) {
+  std::uint64_t h = kFnvBasis;
+  h = fold_series(h, r.rx_bytes);
+  h = fold_series(h, r.tx_bytes);
+  h = fold_series(h, r.attempts);
+  h = fold_series(h, r.established);
+  h = fold_series(h, r.completions);
+  h = fold_series(h, r.failures);
+  h = fold_series(h, r.refusals);
+  h = fnv(h, r.conn_time_ms.count());
+  for (const double s : r.conn_time_ms.sorted()) h = fnv_d(h, s);
+  h = fold_gauge(h, r.cpu);
+  h = fnv(h, r.total_attempts);
+  h = fnv(h, r.total_established);
+  h = fnv(h, r.total_completions);
+  h = fnv(h, r.total_failures);
+  h = fnv(h, r.total_rsts);
+  h = fnv(h, r.challenges_seen);
+  h = fnv(h, r.solves_refused);
+  return h;
+}
+
+}  // namespace tcpz::tracedigest
