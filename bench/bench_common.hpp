@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "scenario/spec.hpp"
 #include "sim/scenario.hpp"
 
@@ -29,12 +31,20 @@ namespace benchutil {
 struct Args {
   bool full = false;
   std::uint64_t seed = 42;
+  /// --trace: run scenarios with the flight recorder installed and export
+  /// Chrome trace_event JSON to results/TRACE_<artifact>[_<run>].json.
+  bool trace = false;
+  std::size_t trace_ring = 1u << 16;  ///< --trace-ring N (events)
 };
 
 inline Args parse(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) args.full = true;
+    if (std::strcmp(argv[i], "--trace") == 0) args.trace = true;
+    if (std::strcmp(argv[i], "--trace-ring") == 0 && i + 1 < argc) {
+      args.trace_ring = std::strtoull(argv[++i], nullptr, 10);
+    }
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
     }
@@ -76,6 +86,71 @@ inline void label(const char* name, const std::string& value) {
   g_labels.emplace_back(name, value);
 }
 
+inline tcpz::obs::Registry g_registry;  // NOLINT
+
+inline std::string sanitize(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+/// Folds one scenario result into the bench's metrics registry: per-server
+/// metrics labelled server=<i>, hosts aggregated by role (merge semantics —
+/// counters and histograms sum across hosts sharing a label). `run` prefixes
+/// the labels so multi-run benches (e.g. one run per policy) stay separable.
+inline void register_result(const tcpz::scenario::Result& res,
+                            const std::string& run = {}) {
+  namespace obs = tcpz::obs;
+  const std::string prefix = run.empty() ? "" : "run=" + run + ",";
+  for (std::size_t i = 0; i < res.servers.size(); ++i) {
+    obs::register_metrics(g_registry, res.servers[i],
+                          prefix + "server=" + std::to_string(i));
+  }
+  for (const auto& c : res.clients) {
+    obs::register_metrics(g_registry, c, prefix + "role=client");
+  }
+  for (const auto& g : res.groups) {
+    for (const auto& b : g.bots) {
+      obs::register_metrics(g_registry, b, prefix + "role=bot,group=" + g.name);
+    }
+  }
+  if (res.trace) {
+    const std::string l = run.empty() ? "" : "run=" + run;
+    g_registry.counter("trace.events_recorded", l,
+                       static_cast<double>(res.trace->total_recorded()),
+                       "events accepted by the flight recorder");
+    g_registry.counter("trace.events_overwritten", l,
+                       static_cast<double>(res.trace->overwritten()),
+                       "oldest events lost to ring wrap");
+    g_registry.counter("trace.events_suppressed", l,
+                       static_cast<double>(res.trace->suppressed()),
+                       "events refused by the category mask");
+  }
+}
+
+/// Runs a Spec with the bench's observability settings applied and folds
+/// the result into the metrics registry. Under --trace the run gets a
+/// flight recorder and exports results/TRACE_<artifact>[_<run>].json.
+inline tcpz::scenario::Result run_scenario(tcpz::scenario::Spec spec,
+                                           const Args& args,
+                                           const std::string& run = {}) {
+  if (args.trace) {
+    spec.obs.trace = true;
+    spec.obs.ring_capacity = args.trace_ring;
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    std::string stem = "results/TRACE_" + sanitize(g_artifact);
+    if (!run.empty()) stem += "_" + sanitize(run);
+    spec.obs.chrome_trace_path = stem + ".json";
+    spec.obs.flows_path = stem + ".flows.txt";
+  }
+  tcpz::scenario::Result res = tcpz::scenario::run(spec);
+  register_result(res, run);
+  return res;
+}
+
 inline std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -87,14 +162,10 @@ inline std::string json_escape(const std::string& s) {
 }
 
 /// results/BENCH_<artifact>.json: {"artifact", "failures", "checks",
-/// "metrics"}.
+/// "metrics", "labels", "metrics_registry"}.
 inline void write_json_report() {
   if (g_artifact.empty()) return;
-  std::string fname = "results/BENCH_";
-  for (const char c : g_artifact) {
-    fname.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
-  }
-  fname += ".json";
+  const std::string fname = "results/BENCH_" + sanitize(g_artifact) + ".json";
   std::error_code ec;
   std::filesystem::create_directories("results", ec);
   if (ec) return;
@@ -119,7 +190,11 @@ inline void write_json_report() {
                  json_escape(g_labels[i].first).c_str(),
                  json_escape(g_labels[i].second).c_str());
   }
-  std::fprintf(f, "\n  }\n}\n");
+  // The uniform metrics block (see obs/registry.hpp): every scenario the
+  // bench ran through run_scenario(), one flat name{labels} -> value map.
+  std::fprintf(f, "\n  },\n  \"metrics_registry\": ");
+  g_registry.write_json(f, 2);
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
 }
 

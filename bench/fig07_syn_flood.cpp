@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     scenario::AttackSpec atk;
     atk.strategy = offense::StrategySpec::syn_flood();
     spec.attacks = {atk};
-    results[i] = scenario::run(spec);
+    results[i] = benchutil::run_scenario(spec, args, cases[i].name);
     benchutil::label((std::string("policy_") + cases[i].name).c_str(),
                      results[i].server().policy);
     pre[i] = results[i].client_rx_mbps(benchutil::pre_lo(spec),

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     // Raw nping flood: a legacy stack that plain-ACKs challenges.
     atk.strategy = offense::StrategySpec::conn_flood(/*patched=*/false);
     spec.attacks = {atk};
-    results[i] = scenario::run(spec);
+    results[i] = benchutil::run_scenario(spec, args, cases[i].name);
     benchutil::label((std::string("policy_") + cases[i].name).c_str(),
                      results[i].server().policy);
     pre[i] = results[i].client_rx_mbps(benchutil::pre_lo(spec),

@@ -38,10 +38,12 @@ int main(int argc, char** argv) {
       "cookies: hundreds of cps; challenges: a few cps (factor ~37 less)");
 
   // Raw nping floods (bots_solve = false) bypass the bot kernel solver.
-  const auto with_chal = scenario::run(
-      flood_spec(base, defense::PolicySpec::puzzles(), botnet(false)));
-  const auto with_cook = scenario::run(
-      flood_spec(base, defense::PolicySpec::syn_cookies(), botnet(false)));
+  const auto with_chal = benchutil::run_scenario(
+      flood_spec(base, defense::PolicySpec::puzzles(), botnet(false)), args,
+      "challenges");
+  const auto with_cook = benchutil::run_scenario(
+      flood_spec(base, defense::PolicySpec::syn_cookies(), botnet(false)),
+      args, "cookies");
 
   std::printf("attacker established connections per second, 10 s bins:\n");
   std::printf("%-8s %18s %18s\n", "t(s)", "with challenges", "with cookies");
@@ -71,8 +73,9 @@ int main(int argc, char** argv) {
   // from the same AttackSpec the run uses, so retuning the botnet retunes
   // the check.
   const scenario::AttackSpec solving_botnet = botnet(true);
-  const auto with_solving = scenario::run(
-      flood_spec(base, defense::PolicySpec::puzzles(), solving_botnet));
+  const auto with_solving = benchutil::run_scenario(
+      flood_spec(base, defense::PolicySpec::puzzles(), solving_botnet), args,
+      "solving");
   const double solving_cps = with_solving.server().attacker_cps(a, b);
   const int n_bots = solving_botnet.count;
   const double per_bot_bound =

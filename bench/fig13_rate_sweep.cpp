@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
     atk.rate = rate;
     atk.strategy = offense::StrategySpec::conn_flood();
     spec.attacks = {atk};
-    const auto res = scenario::run(spec);
+    const auto res = benchutil::run_scenario(
+        spec, args, "rate" + std::to_string(static_cast<int>(rate)));
     const std::size_t a = benchutil::atk_lo(spec), b = benchutil::atk_hi(spec);
     const double meas = res.bot_measured_rate(a, b);
     const double comp = res.server().attacker_cps(a, b);

@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
     scenario::AttackSpec atk;
     atk.strategy = offense::StrategySpec::conn_flood(cases[i].bots_solve);
     spec.attacks = {atk};
-    const auto res = scenario::run(spec);
+    const auto res =
+        benchutil::run_scenario(spec, args, "case" + std::to_string(i));
     // Percentage of attack-window wire attempts that completed a request;
     // solver-refused attempts never reach the wire and are excluded, as in
     // the paper's closed-loop measurement.

@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   // -- A: fully protected fleet ---------------------------------------------
   scenario::Spec cfg_a = base;
   cfg_a.fleet.balance = fleet::BalancePolicy::kFiveTupleHash;
-  const scenario::Result a = scenario::run(cfg_a);
+  const scenario::Result a = benchutil::run_scenario(cfg_a, args, "A");
   print_replicas("A: all replicas protected", a, lo, hi);
   benchutil::label("protected_fleet_policy", a.servers[0].policy);
   benchutil::label("attack_strategy", a.groups[0].name);
@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
   cfg_b.servers.policies = {
       defense::PolicySpec::none(), defense::PolicySpec::puzzles(),
       defense::PolicySpec::puzzles(), defense::PolicySpec::puzzles()};
-  const scenario::Result b = scenario::run(cfg_b);
+  const scenario::Result b = benchutil::run_scenario(cfg_b, args, "B");
   print_replicas("B: replica 0 unprotected", b, lo, hi);
   for (std::size_t i = 0; i < b.servers.size(); ++i) {
     benchutil::label(("partial_replica" + std::to_string(i) + "_policy").c_str(),
@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
       (cfg_c.attack_start.nanos() + cfg_c.attack_end.nanos()) / 2);
   cfg_c.events = {{mid, 1, false},
                   {mid + SimTime::seconds(15), 1, true}};
-  const scenario::Result c = scenario::run(cfg_c);
+  const scenario::Result c = benchutil::run_scenario(cfg_c, args, "C");
   print_replicas("C: failover + rotation", c, lo, hi);
 
   const double c_success = benchutil::metric(

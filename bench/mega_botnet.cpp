@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     spec.attack_end = SimTime::seconds(35);
   }
 
-  const scenario::Result r = scenario::run(spec);
+  const scenario::Result r = benchutil::run_scenario(spec, args);
 
   const double events = static_cast<double>(r.events_processed);
   const double events_per_sec = events / r.wall_seconds;

@@ -1,0 +1,183 @@
+// Observability-layer microbenchmark: the cost of seeing everything.
+//
+// Three claims are checked (the obs/trace.hpp contract):
+//  * a disabled tracepoint (no recorder installed) costs a load + predictable
+//    branch — low single-digit nanoseconds, indistinguishable from free;
+//  * an enabled record() is a masked store into the preallocated ring —
+//    tens of nanoseconds at most, no allocation;
+//  * end to end, full-firehose tracing (every category, ring large enough to
+//    wrap thousands of times) adds <= 5% wall time to the mega-botnet smoke
+//    scenario — the flight recorder never perturbs what it observes.
+//
+// Self-contained (no Google Benchmark) so it always builds; cheap enough in
+// --smoke mode for the CI bench-smoke step. Floors are loosened under
+// --smoke (short runs on noisy CI shares); the Release CI job runs the full
+// floors.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "obs/trace.hpp"
+#include "offense/spec.hpp"
+
+namespace {
+
+using tcpz::SimTime;
+
+/// Compiler barrier: keeps the measured loop from folding away without
+/// paying for a function call (what benchmark::DoNotOptimize does).
+template <typename T>
+inline void escape(T& v) {
+  asm volatile("" : "+g"(v) : : "memory");
+}
+
+double wall_seconds(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// ns per TCPZ_TRACE with NO recorder installed: the price every packet in
+/// every untraced run pays at every tracepoint.
+double measure_disabled_ns(std::uint64_t iters) {
+  if (tcpz::obs::recorder() != nullptr) tcpz::obs::install_recorder(nullptr);
+  std::uint64_t acc = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    TCPZ_TRACE(SimTime::nanoseconds(static_cast<std::int64_t>(i)),
+               tcpz::obs::Code::kFire, 0, i);
+    acc += i;
+    escape(acc);
+  }
+  const double secs = wall_seconds(start);
+  escape(acc);
+  return secs * 1e9 / static_cast<double>(iters);
+}
+
+/// The same loop without the tracepoint — the baseline the disabled cost is
+/// measured against.
+double measure_baseline_ns(std::uint64_t iters) {
+  std::uint64_t acc = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    acc += i;
+    escape(acc);
+  }
+  const double secs = wall_seconds(start);
+  escape(acc);
+  return secs * 1e9 / static_cast<double>(iters);
+}
+
+/// ns per record() with a recorder installed, through the macro and the
+/// flow-key overload (the listener's hot-path shape), wrapping the ring.
+double measure_record_ns(std::uint64_t iters) {
+  tcpz::obs::Recorder rec(1u << 16);
+  tcpz::obs::ScopedRecorder scoped(&rec);
+  const tcpz::tcp::FlowKey flow{tcpz::tcp::ipv4(10, 2, 0, 1), 40'000,
+                                tcpz::tcp::ipv4(10, 1, 0, 1), 80};
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    TCPZ_TRACE(SimTime::nanoseconds(static_cast<std::int64_t>(i)),
+               tcpz::obs::Code::kSynEnqueue, 1, flow, i);
+  }
+  const double secs = wall_seconds(start);
+  if (rec.total_recorded() != iters) std::printf("BUG: events lost\n");
+  return secs * 1e9 / static_cast<double>(iters);
+}
+
+/// The mega-botnet smoke scenario (bench/mega_botnet.cpp, --smoke shape):
+/// the heaviest standard workload, used here to price tracing end to end.
+tcpz::scenario::Spec mega_smoke_spec(std::uint64_t seed) {
+  namespace scenario = tcpz::scenario;
+  scenario::Spec spec;
+  spec.seed = seed;
+  spec = spec.scaled();
+  spec.duration = SimTime::seconds(40);
+  spec.attack_start = SimTime::seconds(10);
+  spec.attack_end = SimTime::seconds(35);
+  spec.servers.policies = {tcpz::defense::PolicySpec::puzzles()};
+  spec.servers.n_workers = 8192;
+  spec.servers.service_rate = 8800.0;
+  spec.servers.listen_backlog = 16'384;
+  spec.servers.accept_backlog = 4096;
+  scenario::AttackSpec atk;
+  atk.count = 40;
+  atk.strategy = tcpz::offense::StrategySpec::conn_flood(/*patched=*/true);
+  spec.attacks = {atk};
+  return spec;
+}
+
+/// Min-of-n wall seconds for the spec (min filters scheduler noise — the
+/// question is the cost the recorder ADDS, not the machine's variance).
+double scenario_wall_secs(const tcpz::scenario::Spec& spec, int reps) {
+  double best = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    best = std::min(best, tcpz::scenario::run(spec).wall_seconds);
+  }
+  return best;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Args args = benchutil::parse(argc, argv);
+  const bool smoke = has_flag(argc, argv, "--smoke");
+  const std::uint64_t iters = smoke ? 2'000'000 : 20'000'000;
+  const int reps = smoke ? 2 : 3;
+
+  benchutil::header(
+      "micro: flight-recorder ops (tracepoint / record / end-to-end)",
+      "disabled tracepoints are branch-cheap, enabled records are a ring "
+      "store, and full tracing adds <= 5% wall time to the mega-botnet "
+      "smoke scenario");
+
+  // Warm-up.
+  (void)measure_record_ns(iters / 10);
+  (void)measure_disabled_ns(iters / 10);
+
+  const double baseline_ns = measure_baseline_ns(iters);
+  const double disabled_ns = measure_disabled_ns(iters);
+  const double record_ns = measure_record_ns(iters);
+  const double disabled_delta = std::max(0.0, disabled_ns - baseline_ns);
+
+  benchutil::metric("loop_baseline_ns", baseline_ns);
+  benchutil::metric("trace_disabled_ns", disabled_ns);
+  benchutil::metric("trace_disabled_delta_ns", disabled_delta);
+  benchutil::metric("record_enabled_ns", record_ns);
+
+  // End to end: untraced vs full-firehose traced (all categories on, ring
+  // small enough that it wraps constantly — wrap is the steady state).
+  const tcpz::scenario::Spec plain = mega_smoke_spec(args.seed);
+  tcpz::scenario::Spec traced = plain;
+  traced.obs.trace = true;
+  traced.obs.ring_capacity = 1u << 16;
+  const double plain_secs = scenario_wall_secs(plain, reps);
+  const double traced_secs = scenario_wall_secs(traced, reps);
+  const double overhead_pct = 100.0 * (traced_secs - plain_secs) / plain_secs;
+
+  benchutil::metric("mega_smoke_untraced_secs", plain_secs);
+  benchutil::metric("mega_smoke_traced_secs", traced_secs);
+  benchutil::metric("mega_smoke_trace_overhead_pct", overhead_pct);
+
+  // Floors. Smoke runs on noisy CI shares get looser bounds; Release CI
+  // runs the full floors (the ISSUE's acceptance bar).
+  const double max_disabled = smoke ? 10.0 : 5.0;   // ns over baseline
+  const double max_record = smoke ? 250.0 : 100.0;  // ns per enabled record
+  const double max_overhead = smoke ? 25.0 : 5.0;   // wall-time %
+  benchutil::check("disabled tracepoint adds only branch-level cost",
+                   disabled_delta <= max_disabled);
+  benchutil::check("enabled record() is a cheap ring store",
+                   record_ns <= max_record);
+  benchutil::check("full tracing stays within the wall-time budget",
+                   overhead_pct <= max_overhead);
+
+  return benchutil::finish();
+}

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
       "bogus solutions are rejected; server CPU stays < 5%; saturating a "
       "10.8 Mhash/s verifier takes millions of pps");
 
-  const auto res = scenario::run(spec);
+  const auto res = benchutil::run_scenario(spec, args);
   const auto& c = res.server().counters;
   const SimTime w0 = SimTime::seconds(
       static_cast<std::int64_t>(benchutil::atk_lo(spec)));

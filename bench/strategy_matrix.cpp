@@ -113,7 +113,9 @@ int main(int argc, char** argv) {
   for (int si = 0; si < 4; ++si) {
     for (int pi = 0; pi < 4; ++pi) {
       Cell& cell = grid[si][pi];
-      cell.result = scenario::run(make_spec(si, policies[pi].spec));
+      cell.result = benchutil::run_scenario(
+          make_spec(si, policies[pi].spec), args,
+          std::string(strategies[si]) + "+" + policies[pi].name);
       cell.success_pct = cell.result.client_wire_success_pct(lo, hi);
       cell.attacker_cps = cell.result.attacker_cps(lo, hi);
     }

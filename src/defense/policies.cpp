@@ -10,7 +10,7 @@ namespace tcpz::defense {
 
 SynDecision NonePolicy::on_syn(SimTime now, const QueueView& q) {
   (void)now;
-  if (q.listen_full) return {SynAction::kDrop};
+  if (q.listen_full) return {SynAction::kDrop, DropReason::kOverflow};
   return {SynAction::kEnqueue};
 }
 

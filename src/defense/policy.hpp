@@ -59,8 +59,16 @@ enum class SynAction : std::uint8_t {
   kDrop,       ///< drop silently (stock TCP under overload)
 };
 
+/// Why a kDrop was directed. Drives the drops_queue_overflow vs drops_policy
+/// counter split and the trace reason taxonomy (obs::Code).
+enum class DropReason : std::uint8_t {
+  kPolicy,    ///< deliberate filtering decision, regardless of queue room
+  kOverflow,  ///< no room and nothing stateless to answer with (stock TCP)
+};
+
 struct SynDecision {
   SynAction action = SynAction::kEnqueue;
+  DropReason drop_reason = DropReason::kPolicy;  ///< meaningful when kDrop
 };
 
 /// Which stateless credentials an ACK that matches no half-open or

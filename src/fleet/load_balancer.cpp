@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace tcpz::fleet {
 
 const char* to_string(BalancePolicy p) {
@@ -48,6 +50,8 @@ void LoadBalancer::set_backend_up(int idx, bool up) {
     for (auto it = flows_.begin(); it != flows_.end();) {
       if (it->second.backend == idx) {
         ++failover_evictions_;
+        TCPZ_TRACE(sim().now(), obs::Code::kLbEvict, /*track=*/0,
+                   static_cast<std::uint64_t>(idx), it->first);
         it = flows_.erase(it);
       } else {
         ++it;
@@ -149,8 +153,11 @@ void LoadBalancer::deliver(const tcp::Segment& seg) {
   const int idx = pick_backend(seg);
   if (idx < 0) {
     ++no_backend_drops_;
+    TCPZ_TRACE(sim().now(), obs::Code::kLbNoBackend, /*track=*/0, seg);
     return;
   }
+  TCPZ_TRACE(sim().now(), obs::Code::kLbPick, /*track=*/0, seg,
+             static_cast<std::uint64_t>(idx));
   dispatch(idx, seg);
 
   if (seg.is_rst()) {

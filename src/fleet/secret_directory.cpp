@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace tcpz::fleet {
 
 crypto::SecretKey SecretDirectory::derive(std::uint64_t seed,
@@ -42,7 +44,12 @@ void SecretDirectory::rotation_loop(net::Simulator& sim, SimTime until) {
   rotation_timer_ = sim.schedule_in(cfg_.rotation_interval, [this, &sim, until] {
     if (sim.now() >= until) return;
     rotate();
-    overlap_timer_ = sim.schedule_in(cfg_.overlap, [this] { expire_overlap(); });
+    TCPZ_TRACE(sim.now(), obs::Code::kSecretRotate, /*track=*/0, epoch_,
+               subscribers_.size());
+    overlap_timer_ = sim.schedule_in(cfg_.overlap, [this, &sim] {
+      TCPZ_TRACE(sim.now(), obs::Code::kSecretOverlapEnd, /*track=*/0, epoch_);
+      expire_overlap();
+    });
     rotation_loop(sim, until);
   });
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/trace.hpp"
+
 namespace tcpz::net {
 
 using detail::EventLoc;
@@ -69,6 +71,9 @@ void EventCore::recycle(EventRec* rec) {
 }
 
 void EventCore::link(EventRec* rec) {
+  // Tier tracepoints (sim-time = the event's due time; a0 = seq) fire on
+  // every filing, including cascade re-files from expire_slot — a traced run
+  // shows the wheel mechanics, not just the original schedule calls.
   const std::uint64_t at_tick = tick_of(rec->at);
   if (at_tick <= cur_tick_) {
     // The cursor already swept this tick: the record competes directly in
@@ -76,6 +81,7 @@ void EventCore::link(EventRec* rec) {
     rec->loc = EventLoc::kOrdered;
     near_.push_back(HeapEntry{rec->at, rec->seq, rec});
     std::push_heap(near_.begin(), near_.end(), LaterEntry{});
+    TCPZ_TRACE(rec->at, obs::Code::kSchedNear, /*track=*/0, rec->seq);
     return;
   }
   const std::uint64_t delta = at_tick - cur_tick_;
@@ -83,6 +89,7 @@ void EventCore::link(EventRec* rec) {
     rec->loc = EventLoc::kOrdered;
     far_.push_back(HeapEntry{rec->at, rec->seq, rec});
     std::push_heap(far_.begin(), far_.end(), LaterEntry{});
+    TCPZ_TRACE(rec->at, obs::Code::kSchedFar, /*track=*/0, rec->seq);
     return;
   }
   // Level l covers deltas in [2^(8l), 2^(8(l+1))); the slot index is the
@@ -100,6 +107,7 @@ void EventCore::link(EventRec* rec) {
   if (rec->next != nullptr) rec->next->prev = rec;
   wheel_[level][slot] = rec;
   occupied_[level].set(slot);
+  TCPZ_TRACE(rec->at, obs::Code::kSchedWheel, /*track=*/0, rec->seq, level);
 }
 
 void EventCore::unlink_from_wheel(EventRec* rec) {
@@ -124,6 +132,7 @@ bool EventCore::cancel(TimerHandle h) {
       // O(1) splice — the dominant case: retransmit/expiry timers park in
       // the wheel until descheduled, and the record recycles immediately.
       unlink_from_wheel(rec);
+      TCPZ_TRACE(rec->at, obs::Code::kCancelWheel, /*track=*/0, rec->seq);
       rec->action.reset();
       recycle(rec);
       ++cancelled_wheel_total_;
@@ -132,6 +141,7 @@ bool EventCore::cancel(TimerHandle h) {
       // The ordered stages hold entries we cannot cheaply extract; drop the
       // closure now and let the pop path discard the skeleton.
       rec->cancelled = true;
+      TCPZ_TRACE(rec->at, obs::Code::kCancelStage, /*track=*/0, rec->seq);
       rec->action.reset();
       ++stage_cancelled_;
       break;
@@ -312,6 +322,7 @@ void EventCore::reanchor(SimTime now) {
 }
 
 void EventCore::execute_and_recycle(EventRec* rec) {
+  TCPZ_TRACE(rec->at, obs::Code::kFire, /*track=*/0, rec->seq);
   rec->loc = EventLoc::kExecuting;
   // One fused indirect call runs the action (which may schedule or cancel
   // other events re-entrantly) and destroys the closure.

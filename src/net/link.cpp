@@ -5,6 +5,7 @@
 
 #include "net/node.hpp"
 #include "net/simulator.hpp"
+#include "obs/trace.hpp"
 
 namespace tcpz::net {
 
@@ -28,6 +29,7 @@ void Link::transmit(const tcp::Segment& seg) {
   const std::uint32_t bytes = seg.wire_size();
   if (backlog_bytes() + bytes > queue_cap_bytes_) {
     ++stats_.drops;
+    TCPZ_TRACE(sim_.now(), obs::Code::kLinkDrop, /*track=*/0, seg, bytes);
     return;
   }
   const SimTime now = sim_.now();
@@ -35,6 +37,8 @@ void Link::transmit(const tcp::Segment& seg) {
   const SimTime ser = SimTime::from_seconds(bytes * 8.0 / bandwidth_bps_);
   busy_until_ = start + ser;
   const SimTime arrival = busy_until_ + delay_;
+  TCPZ_TRACE(now, obs::Code::kLinkTx, /*track=*/0, seg, bytes,
+             static_cast<std::uint64_t>(arrival.nanos()));
 
   ++stats_.tx_packets;
   stats_.tx_bytes += bytes;

@@ -1,0 +1,150 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <unordered_map>
+
+namespace tcpz::obs {
+
+namespace {
+
+/// Endpoint packed as addr<<16|port for flow keying.
+std::uint64_t endpoint(std::uint32_t addr, std::uint16_t port) {
+  return (static_cast<std::uint64_t>(addr) << 16) | port;
+}
+
+std::string endpoint_str(std::uint32_t addr, std::uint16_t port) {
+  return tcp::ip_to_string(addr) + ":" + std::to_string(port);
+}
+
+}  // namespace
+
+void write_chrome_trace(const Recorder& rec, const TrackNames& tracks,
+                        std::FILE* f) {
+  std::fprintf(f, "{\"traceEvents\": [\n");
+  bool first = true;
+  for (const auto& [tid, name] : tracks) {
+    std::fprintf(f,
+                 "%s  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                 "\"tid\": %u, \"args\": {\"name\": \"%s\"}}",
+                 first ? "" : ",\n", tid, name.c_str());
+    first = false;
+  }
+  rec.for_each([&](const TraceEvent& ev) {
+    const Code code = static_cast<Code>(ev.code);
+    // Instant events, thread-scoped; ts is sim time in microseconds (Chrome's
+    // unit). Sub-microsecond ordering survives in args.t_ns.
+    std::fprintf(f,
+                 "%s  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", "
+                 "\"s\": \"t\", \"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
+                 "\"args\": {\"t_ns\": %" PRId64 ", \"a0\": %" PRIu64
+                 ", \"a1\": %" PRIu64,
+                 first ? "" : ",\n", to_string(code),
+                 to_string(static_cast<Cat>(ev.cat)), ev.track,
+                 static_cast<double>(ev.t) / 1e3, ev.t, ev.a0, ev.a1);
+    first = false;
+    if (ev.saddr != 0 || ev.daddr != 0) {
+      std::fprintf(f, ", \"src\": \"%s\", \"dst\": \"%s\"",
+                   endpoint_str(ev.saddr, ev.sport).c_str(),
+                   endpoint_str(ev.daddr, ev.dport).c_str());
+    }
+    std::fprintf(f, "}}");
+  });
+  std::fprintf(f, "\n], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+bool write_chrome_trace(const Recorder& rec, const TrackNames& tracks,
+                        const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  write_chrome_trace(rec, tracks, f);
+  std::fclose(f);
+  return true;
+}
+
+// -- per-flow lifecycle reconstruction ----------------------------------------
+
+bool FlowLifecycle::saw(Code c) const {
+  for (const TraceEvent& ev : events) {
+    if (static_cast<Code>(ev.code) == c) return true;
+  }
+  return false;
+}
+
+std::string FlowLifecycle::outcome() const {
+  // Walk newest-first: the last listener verdict on the flow decides. An
+  // establishment anywhere wins (post-establishment data/RST events follow).
+  if (established()) return "established";
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    switch (static_cast<Code>(it->code)) {
+      case Code::kSynDropPolicy:
+      case Code::kSynDropOverflow:
+      case Code::kSolutionInvalid:
+      case Code::kSolutionExpired:
+      case Code::kSolutionBadAckno:
+      case Code::kSolutionIgnoredFull:
+      case Code::kSolutionReplayed:
+      case Code::kCookieInvalid:
+      case Code::kCookieDropFull:
+      case Code::kHalfOpenExpired:
+      case Code::kLbNoBackend:
+        return std::string("dropped:") + to_string(static_cast<Code>(it->code));
+      case Code::kOutcomeTimeout:
+        return "dropped:timeout";
+      default:
+        break;
+    }
+  }
+  return "pending";
+}
+
+std::vector<FlowLifecycle> reconstruct_flows(const Recorder& rec,
+                                             std::uint32_t category_mask) {
+  std::vector<FlowLifecycle> flows;
+  // Key is orientation-free (low endpoint, high endpoint): the listener
+  // records client-first but attacker-side events carry the SYN-ACK's
+  // server-first orientation, and both must land in the same chain.
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  rec.for_each([&](const TraceEvent& ev) {
+    if ((cat_bit(static_cast<Cat>(ev.cat)) & category_mask) == 0) return;
+    if (ev.saddr == 0 && ev.daddr == 0) return;  // not flow-scoped
+    const std::uint64_t a = endpoint(ev.saddr, ev.sport);
+    const std::uint64_t b = endpoint(ev.daddr, ev.dport);
+    // 37 bits of endpoint per side would overflow a single u64 key; mix
+    // instead (collisions are astronomically unlikely within one trace).
+    const std::uint64_t lo = a < b ? a : b;
+    const std::uint64_t hi = a < b ? b : a;
+    const std::uint64_t key = lo * 0x9e3779b97f4a7c15ull ^ hi;
+    auto [it, inserted] = index.try_emplace(key, flows.size());
+    if (inserted) flows.emplace_back();
+    FlowLifecycle& fl = flows[it->second];
+    fl.events.push_back(ev);
+    // A listener-category event's source is the client by construction; let
+    // it orient the tuple (and stick with the first orientation seen until
+    // one shows up).
+    if (fl.client_addr == 0 ||
+        (static_cast<Cat>(ev.cat) == Cat::kListener &&
+         fl.client_addr != ev.saddr)) {
+      fl.client_addr = ev.saddr;
+      fl.client_port = ev.sport;
+      fl.server_addr = ev.daddr;
+      fl.server_port = ev.dport;
+    }
+  });
+  return flows;
+}
+
+void write_flows(std::FILE* f, const std::vector<FlowLifecycle>& flows) {
+  for (const FlowLifecycle& fl : flows) {
+    std::fprintf(f, "%s -> %s  [%zu events] %s\n",
+                 endpoint_str(fl.client_addr, fl.client_port).c_str(),
+                 endpoint_str(fl.server_addr, fl.server_port).c_str(),
+                 fl.events.size(), fl.outcome().c_str());
+    for (const TraceEvent& ev : fl.events) {
+      std::fprintf(f, "  %12.6fms  %-22s a0=%" PRIu64 " a1=%" PRIu64 "\n",
+                   static_cast<double>(ev.t) / 1e6,
+                   to_string(static_cast<Code>(ev.code)), ev.a0, ev.a1);
+    }
+  }
+}
+
+}  // namespace tcpz::obs

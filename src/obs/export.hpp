@@ -1,0 +1,68 @@
+// Trace exporters: turn a Recorder's event ring into things humans read.
+//
+//  * write_chrome_trace — Chrome trace_event JSON (load in Perfetto or
+//    chrome://tracing). One track per agent/replica: the TraceEvent track id
+//    becomes the tid, named via thread_name metadata events.
+//  * reconstruct_flows — per-flow lifecycle chains: every flow-scoped event
+//    grouped by 4-tuple in time order, so a single connection reads as
+//    SYN -> challenge -> solve -> established (or the drop reason).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tcpz::obs {
+
+/// Display names for export tracks: (track id, name). Track 0 is the shared
+/// infrastructure track (event core, links, balancer, secrets).
+using TrackNames = std::vector<std::pair<std::uint16_t, std::string>>;
+
+/// Writes the retained events as Chrome trace_event JSON ("traceEvents"
+/// array of instant events, ts in microseconds of sim time, tid = track).
+/// Returns false if the file could not be opened.
+bool write_chrome_trace(const Recorder& rec, const TrackNames& tracks,
+                        const std::string& path);
+void write_chrome_trace(const Recorder& rec, const TrackNames& tracks,
+                        std::FILE* f);
+
+// -- per-flow lifecycle reconstruction ----------------------------------------
+
+/// One connection's story: every flow-scoped event on its 4-tuple, oldest
+/// first. The client endpoint is the SYN's source (listener events record the
+/// client side first, so the first listener event orients the tuple).
+struct FlowLifecycle {
+  std::uint32_t client_addr = 0;
+  std::uint16_t client_port = 0;
+  std::uint32_t server_addr = 0;
+  std::uint16_t server_port = 0;
+  std::vector<TraceEvent> events;
+
+  [[nodiscard]] bool saw(Code c) const;
+  [[nodiscard]] bool established() const { return saw(Code::kEstablished); }
+  [[nodiscard]] bool challenged() const { return saw(Code::kSynChallenge); }
+  /// "established", "dropped:<reason code>" for a terminal listener verdict,
+  /// or "pending" when the trace ends mid-handshake (e.g. ring wrap ate the
+  /// tail). The reason string is to_string() of the deciding Code — the
+  /// listener taxonomy doubles as the drop-reason taxonomy.
+  [[nodiscard]] std::string outcome() const;
+};
+
+/// Groups the retained flow-scoped events (nonzero 4-tuple) by connection.
+/// `category_mask` limits which categories participate; the default keeps
+/// the decision-level categories and leaves out per-packet link noise.
+/// Flows are ordered by first appearance, events within a flow by time.
+[[nodiscard]] std::vector<FlowLifecycle> reconstruct_flows(
+    const Recorder& rec,
+    std::uint32_t category_mask = cat_bit(Cat::kListener) |
+                                  cat_bit(Cat::kOffense) | cat_bit(Cat::kLb));
+
+/// Human-readable dump: one header line per flow (tuple + outcome), one
+/// indented line per event.
+void write_flows(std::FILE* f, const std::vector<FlowLifecycle>& flows);
+
+}  // namespace tcpz::obs

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -227,6 +228,17 @@ Result run(const Spec& spec) {
   validate(spec);
   const auto wall_start = std::chrono::steady_clock::now();
 
+  // Flight recorder, if requested. Installed for the whole run (RAII so it
+  // can never leak into the next scenario in-process); with obs.trace unset
+  // nothing is installed and every tracepoint stays a not-taken branch.
+  std::shared_ptr<obs::Recorder> recorder;
+  std::optional<obs::ScopedRecorder> scoped_recorder;
+  if (spec.obs.trace) {
+    recorder =
+        std::make_shared<obs::Recorder>(spec.obs.ring_capacity, spec.obs.categories);
+    scoped_recorder.emplace(recorder.get());
+  }
+
   net::Simulator sim;
   net::Topology topo(sim);
   SeedSource seeds(spec.seeding, spec.seed);
@@ -356,6 +368,8 @@ Result run(const Spec& spec) {
     scfg.listener.accept_backlog = accept_backlog;
     scfg.listener.difficulty = spec.servers.difficulty;
     scfg.listener.policy = pspec.factory();
+    // Track 0 is shared infrastructure; servers take 1..count.
+    scfg.listener.trace_track = static_cast<std::uint16_t>(1 + i);
     scfg.service_rate = service_rate;
     scfg.n_workers = workers;
     scfg.response_bytes = spec.workload.response_bytes;
@@ -454,6 +468,9 @@ Result run(const Spec& spec) {
         acfg.max_inflight = g.max_inflight;
         acfg.tick_interval = spec.tick_interval;
         acfg.sample_interval = spec.sample_interval;
+        // Bots take tracks above the server range, flat in group order.
+        acfg.trace_track = static_cast<std::uint16_t>(
+            1 + spec.servers.count + static_cast<int>(host_idx));
         bots.push_back(std::make_unique<sim::AttackerAgent>(
             sim, *bot_hosts[host_idx], acfg,
             seeds.next(Role::kBot, group_idx,
@@ -502,6 +519,35 @@ Result run(const Spec& spec) {
   if (directory) result.secret_rotations = directory->rotations();
   if (replay_cache) result.replay_cache_hits = replay_cache->hits();
   result.events_processed = sim.events_processed();
+  if (recorder) {
+    result.tracks.emplace_back(0, "infra");
+    for (int i = 0; i < spec.servers.count; ++i) {
+      result.tracks.emplace_back(
+          static_cast<std::uint16_t>(1 + i),
+          (spec.fleet.enabled ? "replica" : "server") + std::to_string(i));
+    }
+    {
+      int bot = 0;
+      for (const AttackSpec& g : spec.attacks) {
+        for (int i = 0; i < g.count; ++i, ++bot) {
+          result.tracks.emplace_back(
+              static_cast<std::uint16_t>(1 + spec.servers.count + bot),
+              "bot" + std::to_string(bot) + ":" + g.label());
+        }
+      }
+    }
+    if (!spec.obs.chrome_trace_path.empty()) {
+      obs::write_chrome_trace(*recorder, result.tracks,
+                              spec.obs.chrome_trace_path);
+    }
+    if (!spec.obs.flows_path.empty()) {
+      if (std::FILE* f = std::fopen(spec.obs.flows_path.c_str(), "w")) {
+        obs::write_flows(f, obs::reconstruct_flows(*recorder));
+        std::fclose(f);
+      }
+    }
+    result.trace = std::move(recorder);
+  }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

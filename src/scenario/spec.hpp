@@ -25,13 +25,17 @@
 // trace-neutral.)
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "defense/spec.hpp"
 #include "fleet/load_balancer.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "offense/spec.hpp"
 #include "puzzle/types.hpp"
 #include "sim/cpu.hpp"
@@ -127,6 +131,25 @@ struct FleetSpec {
   SimTime lb_flow_idle_timeout = SimTime::seconds(30);
 };
 
+/// Flight-recorder configuration (src/obs/). Off by default — with no
+/// recorder installed every TCPZ_TRACE site is one predictable branch, so
+/// untraced runs keep the PR 4 zero-allocation and golden-trace guarantees
+/// byte-for-byte. Traced runs stay deterministic: events carry sim time and
+/// seed-derived payloads only, so the trace digest is pinned per seed.
+struct ObsSpec {
+  bool trace = false;  ///< install a Recorder for the run
+  /// Ring capacity in events (rounded up to a power of two); the last N
+  /// decisions survive no matter how long the run is.
+  std::size_t ring_capacity = 1u << 16;
+  /// Category mask (obs::cat_bit). kEvent and kLink are the high-volume
+  /// tiers — mask them off to keep decision-level events from wrapping away.
+  std::uint32_t categories = obs::kAllCategories;
+  /// Chrome trace_event JSON export (Perfetto-loadable); empty = none.
+  std::string chrome_trace_path;
+  /// Per-flow lifecycle dump (SYN -> ... -> outcome chains); empty = none.
+  std::string flows_path;
+};
+
 /// A server health transition at a point in simulated time (fleet only; a
 /// down replica is partitioned at the balancer, not rebooted).
 struct TimelineEvent {
@@ -154,6 +177,7 @@ struct Spec {
   PowKind pow = PowKind::kCpuBound;
   SimTime tick_interval = SimTime::milliseconds(100);
   SimTime sample_interval = SimTime::milliseconds(250);
+  ObsSpec obs;
 
   /// Same rates and shapes on a short timeline: 120 s run, attack 30-80 s —
   /// kept shorter than the default protection hold (see
@@ -203,6 +227,11 @@ struct Result {
   std::uint64_t replay_cache_hits = 0;
   std::uint64_t events_processed = 0;
   double wall_seconds = 0;
+  /// The flight recorder, when ObsSpec::trace was set (shared_ptr keeps
+  /// Result copyable); `tracks` names the export tracks (0 = infra, then
+  /// one per server, then one per bot).
+  std::shared_ptr<obs::Recorder> trace;
+  obs::TrackNames tracks;
 
   /// The single protected server of the classic §6 scenarios.
   [[nodiscard]] const sim::ServerReport& server() const { return servers[0]; }

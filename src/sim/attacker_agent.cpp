@@ -1,5 +1,7 @@
 #include "sim/attacker_agent.hpp"
 
+#include "obs/trace.hpp"
+
 namespace tcpz::sim {
 
 AttackerAgent::AttackerAgent(net::Simulator& sim, net::Host& host,
@@ -60,12 +62,18 @@ void AttackerAgent::flood_loop() {
       const std::size_t target = d.target < cfg_.targets.size() ? d.target : 0;
       switch (d.action) {
         case offense::SlotAction::kSpoofedSyn:
+          TCPZ_TRACE(now2, obs::Code::kSlotSpoofedSyn, cfg_.trace_track,
+                     target);
           send_spoofed_syn(now2, target);
           break;
         case offense::SlotAction::kConnect:
+          TCPZ_TRACE(now2, obs::Code::kSlotConnect, cfg_.trace_track, target,
+                     d.patched ? 1 : 0);
           launch_attempt(now2, d.patched, target);
           break;
-        case offense::SlotAction::kIdle: break;
+        case offense::SlotAction::kIdle:
+          TCPZ_TRACE(now2, obs::Code::kSlotIdle, cfg_.trace_track);
+          break;
       }
     }
     flood_loop();
@@ -173,11 +181,18 @@ void AttackerAgent::apply(SimTime now, std::uint16_t sport,
     if (ca == offense::ChallengeAction::kAbandon || !cfg_.engine ||
         cpu_.earliest_lane_free() > now + cfg_.attempt_timeout) {
       ++report_.solves_refused;
+      TCPZ_TRACE(now, obs::Code::kChallengeAbandon, cfg_.trace_track, sport,
+                 ca == offense::ChallengeAction::kAbandon ? 0 : 1);
+      TCPZ_TRACE(now, obs::Code::kOutcomeSolveRefused, cfg_.trace_track,
+                 sport);
       strategy_->on_outcome(view(now), offense::Outcome::kSolveRefused);
       // The attempt keeps holding its in-flight slot until the tool times
       // it out (tick_loop), throttling the measured attack rate.
       return;
     }
+    TCPZ_TRACE(now, obs::Code::kChallengeSolve, cfg_.trace_track, sport,
+               (static_cast<std::uint64_t>(out.solve->diff.k) << 8) |
+                   out.solve->diff.m);
     std::uint64_t hash_ops = 0;
     const puzzle::Solution solution = cfg_.engine->solve(
         *out.solve, attempt.connector.flow_binding(), rng_, hash_ops);
@@ -204,19 +219,22 @@ void AttackerAgent::apply(SimTime now, std::uint16_t sport,
     report_.established.add(now, 1.0);
     ++report_.total_established;
     erase_attempt(it);
+    TCPZ_TRACE(now, obs::Code::kOutcomeEstablished, cfg_.trace_track, sport);
     strategy_->on_outcome(view(now), offense::Outcome::kEstablished);
     return;
   }
 
   if (out.failed) {
-    if (out.reason == tcp::ConnectFail::kReset) ++report_.total_rsts;
+    const bool reset = out.reason == tcp::ConnectFail::kReset;
+    if (reset) ++report_.total_rsts;
     report_.failures.add(now, 1.0);
     ++report_.total_failures;
     erase_attempt(it);
-    strategy_->on_outcome(view(now),
-                          out.reason == tcp::ConnectFail::kReset
-                              ? offense::Outcome::kReset
-                              : offense::Outcome::kTimeout);
+    TCPZ_TRACE(now,
+               reset ? obs::Code::kOutcomeReset : obs::Code::kOutcomeTimeout,
+               cfg_.trace_track, sport);
+    strategy_->on_outcome(view(now), reset ? offense::Outcome::kReset
+                                           : offense::Outcome::kTimeout);
   }
 }
 
@@ -237,6 +255,9 @@ void AttackerAgent::on_segment(SimTime now, const tcp::Segment& seg) {
   if (rx == offense::RxAction::kBogusAck && seg.is_syn_ack() &&
       seg.options.challenge) {
     ++report_.challenges_seen;
+    TCPZ_TRACE(now, obs::Code::kBogusAck, cfg_.trace_track, seg,
+               (static_cast<std::uint64_t>(seg.options.challenge->k) << 8) |
+                   seg.options.challenge->m);
     send_all({make_bogus_solution_ack(now, seg)});
     report_.established.add(now, 1.0);  // it *believes* it connected
     ++report_.total_established;
@@ -271,6 +292,7 @@ void AttackerAgent::tick_loop() {
       // Descheduling the admitted solve models the tool closing its socket:
       // the queued search is abandoned rather than firing as a tombstone.
       erase_attempt(attempts_.find(sport));
+      TCPZ_TRACE(t, obs::Code::kOutcomeTimeout, cfg_.trace_track, sport);
       strategy_->on_outcome(view(t), offense::Outcome::kTimeout);
     }
     if (t < cfg_.attack_end) tick_loop();

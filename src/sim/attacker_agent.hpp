@@ -59,6 +59,9 @@ struct AttackerAgentConfig {
   double per_packet_cpu_sec = 0.7e-3;
   SimTime tick_interval = SimTime::milliseconds(100);
   SimTime sample_interval = SimTime::milliseconds(250);
+  /// Flight-recorder track this bot's offense events report under (one
+  /// track per agent in the Chrome-trace export; see src/obs/).
+  std::uint16_t trace_track = 0;
 };
 
 class AttackerAgent {

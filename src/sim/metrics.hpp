@@ -1,5 +1,13 @@
 // Metric containers filled by the agents during a scenario run. Everything
 // the paper's Figures 6-15 plot comes out of these.
+//
+// Field lists are single-sourced as X-macro tables (like
+// TCPZ_LISTENER_COUNTER_FIELDS in tcp/counters.hpp): the golden-trace digest
+// (tests/trace_digest.hpp), CSV serialization (sim/report_io.cpp) and the
+// metrics registry (obs/registry.cpp) all expand the same tables, so a new
+// series or total can never silently go un-digested or un-serialized. Table
+// order is load-bearing — the digests fold in table order; append, don't
+// reorder.
 #pragma once
 
 #include <cstdint>
@@ -11,28 +19,37 @@
 
 namespace tcpz::sim {
 
+/// Per-host TimeSeries fields. X(name, help).
+#define TCPZ_HOST_REPORT_SERIES_FIELDS(X)                                   \
+  X(rx_bytes, "bytes received per second")                                  \
+  X(tx_bytes, "bytes sent per second")                                      \
+  X(attempts, "connection attempts started per second")                     \
+  X(established, "handshakes completed per second (our view)")              \
+  X(completions, "full request/response cycles per second")                 \
+  X(failures, "connection attempts failed per second")                      \
+  X(refusals, "attempts abandoned pre-wire: backlogged solver or price refusal")
+
+/// Per-host cumulative totals. X(name, help).
+#define TCPZ_HOST_REPORT_TOTAL_FIELDS(X)                                    \
+  X(total_attempts, "connection attempts started")                          \
+  X(total_established, "handshakes completed")                              \
+  X(total_completions, "full request/response cycles")                      \
+  X(total_failures, "connection attempts failed")                           \
+  X(total_rsts, "RSTs received")                                            \
+  X(challenges_seen, "puzzle challenges received")                          \
+  X(solves_refused, "solves refused: backlogged solver or price refusal")
+
 /// Per-host (client or attacker) measurements.
 struct HostReport {
-  TimeSeries rx_bytes{SimTime::seconds(1)};
-  TimeSeries tx_bytes{SimTime::seconds(1)};
-  TimeSeries attempts{SimTime::seconds(1)};     ///< connection attempts started
-  TimeSeries established{SimTime::seconds(1)};  ///< handshakes completed (our view)
-  TimeSeries completions{SimTime::seconds(1)};  ///< full request/response cycles
-  TimeSeries failures{SimTime::seconds(1)};
-  /// Attempts abandoned before reaching the wire because the local solver
-  /// was backlogged (connect() backpressure) — excluded from the paper's
-  /// "% of connections established" denominator.
-  TimeSeries refusals{SimTime::seconds(1)};
+#define TCPZ_X(name, help) TimeSeries name{SimTime::seconds(1)};
+  TCPZ_HOST_REPORT_SERIES_FIELDS(TCPZ_X)
+#undef TCPZ_X
   SampleSet conn_time_ms;  ///< SYN sent -> established (includes solve time)
   GaugeSeries cpu;
 
-  std::uint64_t total_attempts = 0;
-  std::uint64_t total_established = 0;
-  std::uint64_t total_completions = 0;
-  std::uint64_t total_failures = 0;
-  std::uint64_t total_rsts = 0;
-  std::uint64_t challenges_seen = 0;
-  std::uint64_t solves_refused = 0;  ///< backlogged solver or price refusal
+#define TCPZ_X(name, help) std::uint64_t name = 0;
+  TCPZ_HOST_REPORT_TOTAL_FIELDS(TCPZ_X)
+#undef TCPZ_X
 
   /// Mean goodput in Mbps over bins [from, to).
   [[nodiscard]] double rx_mbps(std::size_t from, std::size_t to) const {
@@ -40,23 +57,32 @@ struct HostReport {
   }
 };
 
-/// Server-side measurements.
+/// Server-side TimeSeries fields. X(name, help).
+#define TCPZ_SERVER_REPORT_SERIES_FIELDS(X)                                 \
+  X(rx_bytes, "bytes received per second")                                  \
+  X(tx_bytes, "bytes sent per second")                                      \
+  X(challenge_synacks, "challenge SYN-ACKs per second (Fig. 8 sparkline)")  \
+  X(plain_synacks, "plain SYN-ACKs per second")                             \
+  X(established_client, "legitimate-client establishments per second")      \
+  X(established_attacker, "botnet establishments per second")               \
+  X(responses, "responses served per second")
+
+/// Server-side gauge fields. X(name, help).
+#define TCPZ_SERVER_REPORT_GAUGE_FIELDS(X)                                  \
+  X(listen_queue, "listen (SYN) queue depth")                               \
+  X(accept_queue, "accept queue depth")                                     \
+  X(cpu, "server CPU utilization")                                          \
+  X(difficulty_m, "puzzle difficulty bits m over time")
+
+/// Server-side measurements. The established_* split relies on the
+/// simulator knowing which addresses belong to the botnet.
 struct ServerReport {
-  TimeSeries rx_bytes{SimTime::seconds(1)};
-  TimeSeries tx_bytes{SimTime::seconds(1)};
-  GaugeSeries listen_queue;
-  GaugeSeries accept_queue;
-  GaugeSeries cpu;
-  TimeSeries challenge_synacks{SimTime::seconds(1)};  ///< Fig. 8 sparkline
-  TimeSeries plain_synacks{SimTime::seconds(1)};
-  /// Established-connection events split by source class (the simulator
-  /// knows which addresses belong to the botnet).
-  TimeSeries established_client{SimTime::seconds(1)};
-  TimeSeries established_attacker{SimTime::seconds(1)};
-  TimeSeries responses{SimTime::seconds(1)};
-  /// Difficulty bits m over time (constant unless the adaptive controller
-  /// is enabled).
-  GaugeSeries difficulty_m;
+#define TCPZ_X(name, help) TimeSeries name{SimTime::seconds(1)};
+  TCPZ_SERVER_REPORT_SERIES_FIELDS(TCPZ_X)
+#undef TCPZ_X
+#define TCPZ_X(name, help) GaugeSeries name;
+  TCPZ_SERVER_REPORT_GAUGE_FIELDS(TCPZ_X)
+#undef TCPZ_X
 
   tcp::ListenerCounters counters;  ///< final listener counters
   /// DefensePolicy::name() of the listener that produced this report, so

@@ -85,29 +85,14 @@ std::size_t write_csv(const ScenarioResult& result, const ScenarioConfig& cfg,
     std::fprintf(f.get(), "policy,%s\n", result.server.policy.c_str());
     std::fprintf(f.get(), "final_difficulty_m,%.0f\n",
                  result.server.final_difficulty_m);
-    const std::pair<const char*, std::uint64_t> rows[] = {
-        {"syns_received", c.syns_received},
-        {"synacks_sent", c.synacks_sent},
-        {"plain_synacks", c.plain_synacks},
-        {"challenges_sent", c.challenges_sent},
-        {"cookies_sent", c.cookies_sent},
-        {"solutions_valid", c.solutions_valid},
-        {"solutions_invalid", c.solutions_invalid},
-        {"solutions_expired", c.solutions_expired},
-        {"solutions_duplicate", c.solutions_duplicate},
-        {"acks_ignored_accept_full", c.acks_ignored_accept_full},
-        {"established_total", c.established_total},
-        {"established_queue", c.established_queue},
-        {"established_cookie", c.established_cookie},
-        {"established_puzzle", c.established_puzzle},
-        {"half_open_expired", c.half_open_expired},
-        {"rsts_sent", c.rsts_sent},
-        {"crypto_hash_ops", c.crypto_hash_ops},
-    };
-    for (const auto& [key, value] : rows) {
-      std::fprintf(f.get(), "%s,%llu\n", key,
-                   static_cast<unsigned long long>(value));
-    }
+    // Every counter, expanded from the field table — the old hand-written
+    // row list had drifted to 17 of 31 fields (drops_listen_full among the
+    // silently missing); the table makes that class of bug impossible.
+#define TCPZ_X(name, help)                      \
+  std::fprintf(f.get(), "%s,%llu\n", #name,     \
+               static_cast<unsigned long long>(c.name));
+    TCPZ_LISTENER_COUNTER_FIELDS(TCPZ_X)
+#undef TCPZ_X
     ++files;
   }
   return files;

@@ -3,37 +3,9 @@
 namespace tcpz::tcp {
 
 ListenerCounters& operator+=(ListenerCounters& into, const ListenerCounters& c) {
-  into.syns_received += c.syns_received;
-  into.synacks_sent += c.synacks_sent;
-  into.plain_synacks += c.plain_synacks;
-  into.challenges_sent += c.challenges_sent;
-  into.cookies_sent += c.cookies_sent;
-  into.synack_retx += c.synack_retx;
-  into.drops_listen_full += c.drops_listen_full;
-  into.acks_received += c.acks_received;
-  into.solution_acks += c.solution_acks;
-  into.solutions_valid += c.solutions_valid;
-  into.solutions_invalid += c.solutions_invalid;
-  into.solutions_expired += c.solutions_expired;
-  into.solutions_bad_ackno += c.solutions_bad_ackno;
-  into.solutions_duplicate += c.solutions_duplicate;
-  into.acks_ignored_accept_full += c.acks_ignored_accept_full;
-  into.cookies_valid += c.cookies_valid;
-  into.cookies_invalid += c.cookies_invalid;
-  into.cookie_drops_accept_full += c.cookie_drops_accept_full;
-  into.acks_pending_accept += c.acks_pending_accept;
-  into.established_total += c.established_total;
-  into.established_queue += c.established_queue;
-  into.established_cookie += c.established_cookie;
-  into.established_puzzle += c.established_puzzle;
-  into.half_open_expired += c.half_open_expired;
-  into.rsts_sent += c.rsts_sent;
-  into.data_segments += c.data_segments;
-  into.data_unknown_flow += c.data_unknown_flow;
-  into.secret_rotations += c.secret_rotations;
-  into.solutions_valid_prev_epoch += c.solutions_valid_prev_epoch;
-  into.solutions_replay_filtered += c.solutions_replay_filtered;
-  into.crypto_hash_ops += c.crypto_hash_ops;
+#define TCPZ_X(name, help) into.name += c.name;
+  TCPZ_LISTENER_COUNTER_FIELDS(TCPZ_X)
+#undef TCPZ_X
   return into;
 }
 

@@ -8,52 +8,64 @@
 
 namespace tcpz::tcp {
 
+/// The single source of truth for the counter field list. Everything that
+/// iterates over "every counter" — operator+= aggregation, the golden-trace
+/// digest (tests/trace_digest.hpp), CSV/registry serialization
+/// (sim/report_io.cpp, obs/registry.cpp) — expands this table, so a newly
+/// added field can never silently go un-aggregated or un-serialized again.
+///
+/// X(name, help). Order is load-bearing: the golden-trace digests fold
+/// fields in table order, so reordering or inserting mid-table changes
+/// every golden (appending only perturbs digests through the new field's
+/// value). Keep new fields at the end unless a recompute is intended.
+#define TCPZ_LISTENER_COUNTER_FIELDS(X)                                        \
+  X(syns_received, "SYN segments received")                                    \
+  X(synacks_sent, "SYN-ACKs sent, all kinds")                                  \
+  X(plain_synacks, "SYN-ACKs with no challenge and no cookie")                 \
+  X(challenges_sent, "puzzle challenges minted")                               \
+  X(cookies_sent, "SYN cookies minted")                                        \
+  X(synack_retx, "SYN-ACK retransmissions")                                    \
+  X(drops_queue_overflow, "SYNs dropped: listen queue full, no stateless answer possible") \
+  X(drops_policy, "SYNs dropped by policy directive (defense::SynAction::kDrop)") \
+  X(acks_received, "ACK segments received")                                    \
+  X(solution_acks, "ACKs carrying a puzzle solution")                          \
+  X(solutions_valid, "puzzle solutions verified")                              \
+  X(solutions_invalid, "puzzle solutions with wrong bytes")                    \
+  X(solutions_expired, "puzzle solutions outside the freshness window")        \
+  X(solutions_bad_ackno, "solution ACKs not binding our stateless ISS")        \
+  X(solutions_duplicate, "replays of an already-admitted flow")                \
+  X(acks_ignored_accept_full, "solution ACKs ignored: accept queue full (deception)") \
+  X(cookies_valid, "SYN-cookie ACKs decoded")                                  \
+  X(cookies_invalid, "SYN-cookie ACKs that failed to decode")                  \
+  X(cookie_drops_accept_full, "valid cookies dropped: accept queue full")      \
+  X(acks_pending_accept, "handshakes done but parked: accept queue full")      \
+  X(established_total, "connections admitted, all paths")                      \
+  X(established_queue, "admitted via the stateful listen queue")               \
+  X(established_cookie, "admitted via SYN-cookie decode")                      \
+  X(established_puzzle, "admitted via puzzle solution")                        \
+  X(half_open_expired, "half-open entries that exhausted retries")             \
+  X(rsts_sent, "RSTs sent for unknown flows")                                  \
+  X(data_segments, "data segments on established flows")                       \
+  X(data_unknown_flow, "data segments matching no flow")                       \
+  X(secret_rotations, "puzzle-secret epochs installed")                        \
+  X(solutions_valid_prev_epoch, "solutions verified in the rotation overlap window") \
+  X(solutions_replay_filtered, "cluster-level replay rejections")              \
+  X(crypto_hash_ops, "hash operations charged to the server CPU model")
+
 /// Everything the evaluation measures, in one place. All counters are
-/// cumulative over the listener's lifetime.
+/// cumulative over the listener's lifetime. Fields are generated from
+/// TCPZ_LISTENER_COUNTER_FIELDS — see the table for per-field docs.
 struct ListenerCounters {
-  std::uint64_t syns_received = 0;
-  std::uint64_t synacks_sent = 0;        ///< total, all kinds
-  std::uint64_t plain_synacks = 0;       ///< no challenge, no cookie
-  std::uint64_t challenges_sent = 0;
-  std::uint64_t cookies_sent = 0;
-  std::uint64_t synack_retx = 0;
-  /// SYN dropped without a stateless answer: listen-queue overflow with no
-  /// defense engaged, or a policy-directed drop (defense::SynAction::kDrop).
-  std::uint64_t drops_listen_full = 0;
+#define TCPZ_X(name, help) std::uint64_t name = 0;
+  TCPZ_LISTENER_COUNTER_FIELDS(TCPZ_X)
+#undef TCPZ_X
 
-  std::uint64_t acks_received = 0;
-  std::uint64_t solution_acks = 0;
-  std::uint64_t solutions_valid = 0;
-  std::uint64_t solutions_invalid = 0;
-  std::uint64_t solutions_expired = 0;
-  std::uint64_t solutions_bad_ackno = 0;
-  std::uint64_t solutions_duplicate = 0;  ///< replay of an already-admitted flow
-  std::uint64_t acks_ignored_accept_full = 0;
-  std::uint64_t cookies_valid = 0;
-  std::uint64_t cookies_invalid = 0;
-  std::uint64_t cookie_drops_accept_full = 0;
-  std::uint64_t acks_pending_accept = 0;  ///< handshake done, accept queue full
-
-  std::uint64_t established_total = 0;
-  std::uint64_t established_queue = 0;
-  std::uint64_t established_cookie = 0;
-  std::uint64_t established_puzzle = 0;
-
-  std::uint64_t half_open_expired = 0;
-  std::uint64_t rsts_sent = 0;
-  std::uint64_t data_segments = 0;
-  std::uint64_t data_unknown_flow = 0;
-
-  /// Secret-rotation bookkeeping (fleet deployments rotate the puzzle secret
-  /// across every replica; see src/fleet/secret_directory.hpp).
-  std::uint64_t secret_rotations = 0;
-  std::uint64_t solutions_valid_prev_epoch = 0;  ///< verified in the overlap window
-  std::uint64_t solutions_replay_filtered = 0;   ///< cluster-level replay rejections
-
-  /// Cumulative crypto work (hash operations) the listener performed for
-  /// challenge generation, solution verification and cookie MACs. The
-  /// simulator charges this to the server's CPU model.
-  std::uint64_t crypto_hash_ops = 0;
+  /// SYNs dropped without a stateless answer, either cause. Kept as a helper
+  /// because the two causes (queue overflow vs policy directive) were one
+  /// field until the reason-code taxonomy needed them apart.
+  [[nodiscard]] std::uint64_t drops_listen_full() const {
+    return drops_queue_overflow + drops_policy;
+  }
 };
 
 /// Field-wise accumulation, for fleet-level aggregation over replicas.

@@ -5,6 +5,7 @@
 
 #include "crypto/hmac.hpp"
 #include "defense/spec.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace tcpz::tcp {
@@ -100,6 +101,26 @@ bool Listener::protection_active() const {
   return policy_->protection_active(queue_view());
 }
 
+void Listener::observe_policy(SimTime now) {
+  obs::Recorder* rec = obs::recorder();
+  if (rec == nullptr || !rec->wants(obs::Cat::kDefense)) [[likely]] {
+    policy_->observe(now, queue_view());
+    return;
+  }
+  // Traced path: bracket the observe call with protection_active probes so
+  // edge-triggered latch flips (PuzzlePolicy/HybridPolicy watermarks) show
+  // up as explicit transition events.
+  const defense::QueueView q = queue_view();
+  const bool before = policy_->protection_active(q);
+  policy_->observe(now, q);
+  const bool after = policy_->protection_active(q);
+  if (before != after) {
+    rec->record(now,
+                after ? obs::Code::kLatchEngage : obs::Code::kLatchDisengage,
+                cfg_.trace_track, q.listen_depth, q.accept_depth);
+  }
+}
+
 std::uint32_t Listener::stateless_iss_with(const crypto::SecretKey& secret,
                                            const FlowKey& flow,
                                            std::uint32_t ts) {
@@ -135,7 +156,7 @@ std::uint64_t Listener::take_hash_ops() {
 
 std::vector<Segment> Listener::on_segment(SimTime now, const Segment& seg) {
   if (seg.daddr != cfg_.local_addr || seg.dport != cfg_.local_port) return {};
-  policy_->observe(now, queue_view());
+  observe_policy(now);
 
   if (seg.is_rst()) {
     const FlowKey flow = FlowKey::from_incoming(seg);
@@ -251,25 +272,39 @@ std::vector<Segment> Listener::handle_syn(SimTime now, const Segment& seg) {
   if (HalfOpenEntry* entry = listen_.find(flow)) {
     ++counters_.synack_retx;
     ++counters_.synacks_sent;
+    TCPZ_TRACE(now, obs::Code::kSynRetxRequest, cfg_.trace_track, flow,
+               entry->retx_count);
     return {make_synack(*entry, now_ms)};
   }
   // SYN for an already-established flow: ignore (simplified; stock stacks
   // send a challenge-ACK here).
   if (established_.contains(flow)) return {};
 
-  switch (policy_->on_syn(now, queue_view()).action) {
+  const defense::SynDecision verdict = policy_->on_syn(now, queue_view());
+  switch (verdict.action) {
     case defense::SynAction::kChallenge:
       // Policies only request a challenge when the view showed an engine;
       // treat a violation as overload (nothing can be minted).
       if (!engine_) {
-        ++counters_.drops_listen_full;
+        ++counters_.drops_queue_overflow;
+        TCPZ_TRACE(now, obs::Code::kSynDropOverflow, cfg_.trace_track, flow);
         return {};
       }
+      TCPZ_TRACE(now, obs::Code::kSynChallenge, cfg_.trace_track, flow,
+                 (static_cast<std::uint64_t>(cfg_.difficulty.k) << 8) |
+                     cfg_.difficulty.m);
       return {make_challenge_synack(seg, flow, now_ms)};
     case defense::SynAction::kCookie:
+      TCPZ_TRACE(now, obs::Code::kSynCookie, cfg_.trace_track, flow);
       return {make_cookie_synack(seg, flow, now)};
     case defense::SynAction::kDrop:
-      ++counters_.drops_listen_full;
+      if (verdict.drop_reason == defense::DropReason::kOverflow) {
+        ++counters_.drops_queue_overflow;
+        TCPZ_TRACE(now, obs::Code::kSynDropOverflow, cfg_.trace_track, flow);
+      } else {
+        ++counters_.drops_policy;
+        TCPZ_TRACE(now, obs::Code::kSynDropPolicy, cfg_.trace_track, flow);
+      }
       return {};
     case defense::SynAction::kEnqueue:
       break;
@@ -277,7 +312,8 @@ std::vector<Segment> Listener::handle_syn(SimTime now, const Segment& seg) {
   // No stateless answer and no room: the SYN is dropped even if the policy
   // asked to enqueue (queue mechanics stay with the listener).
   if (listen_.full()) {
-    ++counters_.drops_listen_full;
+    ++counters_.drops_queue_overflow;
+    TCPZ_TRACE(now, obs::Code::kSynDropOverflow, cfg_.trace_track, flow);
     return {};
   }
 
@@ -296,6 +332,8 @@ std::vector<Segment> Listener::handle_syn(SimTime now, const Segment& seg) {
 
   ++counters_.plain_synacks;
   ++counters_.synacks_sent;
+  TCPZ_TRACE(now, obs::Code::kSynEnqueue, cfg_.trace_track, flow,
+             listen_.size());
   return {make_synack(entry, now_ms)};
 }
 
@@ -322,6 +360,7 @@ std::vector<Segment> Listener::handle_ack(SimTime now, const Segment& seg) {
       if (!entry->acked) {
         entry->acked = true;
         ++counters_.acks_pending_accept;
+        TCPZ_TRACE(now, obs::Code::kAckPendingAccept, cfg_.trace_track, flow);
       }
       return {};
     }
@@ -360,8 +399,10 @@ std::vector<Segment> Listener::handle_ack(SimTime now, const Segment& seg) {
     ++hash_ops_pending_;
     if (const auto mss = cookies_.decode(flow, client_isn, cookie, to_sec(now))) {
       ++counters_.cookies_valid;
+      TCPZ_TRACE(now, obs::Code::kCookieValid, cfg_.trace_track, flow);
       if (accept_.full()) {
         ++counters_.cookie_drops_accept_full;
+        TCPZ_TRACE(now, obs::Code::kCookieDropFull, cfg_.trace_track, flow);
         return {};
       }
       AcceptedConnection conn;
@@ -376,6 +417,7 @@ std::vector<Segment> Listener::handle_ack(SimTime now, const Segment& seg) {
       return {};
     }
     ++counters_.cookies_invalid;
+    TCPZ_TRACE(now, obs::Code::kCookieInvalid, cfg_.trace_track, flow);
     return {};
   }
 
@@ -384,8 +426,10 @@ std::vector<Segment> Listener::handle_ack(SimTime now, const Segment& seg) {
   // becoming a RST amplifier under spoofed floods.
   if (seg.payload_bytes > 0) {
     ++counters_.data_unknown_flow;
+    TCPZ_TRACE(now, obs::Code::kDataUnknownFlow, cfg_.trace_track, flow);
     if (cfg_.rst_unknown) {
       ++counters_.rsts_sent;
+      TCPZ_TRACE(now, obs::Code::kRstSent, cfg_.trace_track, flow);
       return {make_rst(seg)};
     }
   }
@@ -408,6 +452,7 @@ std::vector<Segment> Listener::handle_solution_ack(SimTime now,
     ts = *sopt.embedded_ts;
   } else {
     ++counters_.solutions_invalid;
+    TCPZ_TRACE(now, obs::Code::kSolutionInvalid, cfg_.trace_track, flow);
     return {};
   }
 
@@ -423,6 +468,7 @@ std::vector<Segment> Listener::handle_solution_ack(SimTime now,
       prev_epoch = true;
     } else {
       ++counters_.solutions_bad_ackno;
+      TCPZ_TRACE(now, obs::Code::kSolutionBadAckno, cfg_.trace_track, flow);
       return {};
     }
   }
@@ -430,6 +476,7 @@ std::vector<Segment> Listener::handle_solution_ack(SimTime now,
   // Replay of a flow that is already admitted occupies no additional slot.
   if (established_.contains(flow) || accept_.contains(flow)) {
     ++counters_.solutions_duplicate;
+    TCPZ_TRACE(now, obs::Code::kSolutionDuplicate, cfg_.trace_track, flow);
     return {};
   }
 
@@ -438,6 +485,7 @@ std::vector<Segment> Listener::handle_solution_ack(SimTime now,
   // the connection exists until its first data segment draws a RST).
   if (accept_.full()) {
     ++counters_.acks_ignored_accept_full;
+    TCPZ_TRACE(now, obs::Code::kSolutionIgnoredFull, cfg_.trace_track, flow);
     return {};
   }
 
@@ -451,6 +499,7 @@ std::vector<Segment> Listener::handle_solution_ack(SimTime now,
   if (sol_len == 0 ||
       sopt.solutions.size() != static_cast<std::size_t>(sol_len) * k) {
     ++counters_.solutions_invalid;
+    TCPZ_TRACE(now, obs::Code::kSolutionInvalid, cfg_.trace_track, flow);
     return {};
   }
   solution.values.reserve(k);
@@ -472,8 +521,10 @@ std::vector<Segment> Listener::handle_solution_ack(SimTime now,
     if (outcome.error == puzzle::VerifyError::kExpired ||
         outcome.error == puzzle::VerifyError::kFutureTimestamp) {
       ++counters_.solutions_expired;
+      TCPZ_TRACE(now, obs::Code::kSolutionExpired, cfg_.trace_track, flow);
     } else {
       ++counters_.solutions_invalid;
+      TCPZ_TRACE(now, obs::Code::kSolutionInvalid, cfg_.trace_track, flow);
     }
     return {};
   }
@@ -484,11 +535,14 @@ std::vector<Segment> Listener::handle_solution_ack(SimTime now,
   if (replay_filter_ && replay_filter_(flow, ts, now_ms)) {
     ++counters_.solutions_duplicate;
     ++counters_.solutions_replay_filtered;
+    TCPZ_TRACE(now, obs::Code::kSolutionReplayed, cfg_.trace_track, flow);
     return {};
   }
 
   ++counters_.solutions_valid;
   if (prev_epoch) ++counters_.solutions_valid_prev_epoch;
+  TCPZ_TRACE(now, obs::Code::kSolutionValid, cfg_.trace_track, flow,
+             /*a0=*/0, /*a1=*/prev_epoch ? 1 : 0);
   AcceptedConnection conn;
   conn.flow = flow;
   conn.client_isn = seg.seq - 1;
@@ -510,16 +564,23 @@ void Listener::establish(SimTime now, const AcceptedConnection& conn) {
     case EstablishPath::kCookie: ++counters_.established_cookie; break;
     case EstablishPath::kPuzzle: ++counters_.established_puzzle; break;
   }
+  TCPZ_TRACE(now, obs::Code::kEstablished, cfg_.trace_track, conn.flow,
+             static_cast<std::uint64_t>(conn.path), accept_.size());
   if (establish_handler_) establish_handler_(now, conn);
 }
 
 std::vector<Segment> Listener::on_tick(SimTime now) {
-  policy_->observe(now, queue_view());
+  observe_policy(now);
   // Policy control point: e.g. the adaptive decorator retunes difficulty
   // from the counter-derived demand/yield signals.
   const defense::TickDecision decision =
       policy_->on_tick(now, queue_view(), counters_);
   if (decision.difficulty && *decision.difficulty != cfg_.difficulty) {
+    TCPZ_TRACE(now, obs::Code::kDifficultyRetune, cfg_.trace_track,
+               (static_cast<std::uint64_t>(cfg_.difficulty.k) << 8) |
+                   cfg_.difficulty.m,
+               (static_cast<std::uint64_t>(decision.difficulty->k) << 8) |
+                   decision.difficulty->m);
     set_difficulty(*decision.difficulty);
   }
 
@@ -534,6 +595,8 @@ std::vector<Segment> Listener::on_tick(SimTime now) {
     if (now >= entry.next_retx) {
       if (entry.retx_count >= cfg_.max_synack_retries) {
         ++counters_.half_open_expired;
+        TCPZ_TRACE(now, obs::Code::kHalfOpenExpired, cfg_.trace_track,
+                   entry.flow, entry.retx_count);
         return false;
       }
       ++entry.retx_count;
@@ -541,6 +604,8 @@ std::vector<Segment> Listener::on_tick(SimTime now) {
       entry.next_retx = now + cfg_.synack_timeout * (1ll << entry.retx_count);
       ++counters_.synack_retx;
       ++counters_.synacks_sent;
+      TCPZ_TRACE(now, obs::Code::kSynackRetx, cfg_.trace_track, entry.flow,
+                 entry.retx_count);
       out.push_back(make_synack(entry, now_ms));
     }
     return true;

@@ -75,6 +75,9 @@ struct ListenerConfig {
   bool use_timestamps = true;
   /// Answer data segments for unknown flows with RST.
   bool rst_unknown = true;
+  /// Flight-recorder track this listener's trace events report under (one
+  /// track per agent/replica in the Chrome-trace export; see src/obs/).
+  std::uint16_t trace_track = 0;
   /// Challenge every SYN regardless of queue state (legacy shim; see
   /// defense::PuzzlePolicyConfig::always_challenge).
   bool always_challenge = false;
@@ -208,6 +211,12 @@ class Listener {
   [[nodiscard]] static std::uint32_t stateless_iss_with(
       const crypto::SecretKey& secret, const FlowKey& flow, std::uint32_t ts);
   void establish(SimTime now, const AcceptedConnection& conn);
+
+  /// policy_->observe() plus, when a recorder is listening on the defense
+  /// category, latch-transition detection around it (kLatchEngage /
+  /// kLatchDisengage). The extra protection_active() probes run only while
+  /// tracing that category — the untraced path is the bare observe call.
+  void observe_policy(SimTime now);
 
   /// The read-only listener snapshot handed to the defense policy.
   [[nodiscard]] defense::QueueView queue_view() const;

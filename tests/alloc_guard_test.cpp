@@ -17,6 +17,7 @@
 #include "net/link.hpp"
 #include "net/node.hpp"
 #include "net/simulator.hpp"
+#include "obs/trace.hpp"
 #include "puzzle/types.hpp"
 #include "tcp/options.hpp"
 #include "tcp/segment.hpp"
@@ -126,6 +127,54 @@ TEST(AllocGuard, LinkDeliveryIsZeroAlloc) {
   const std::uint64_t after = tcpz_alloc_count();
   EXPECT_EQ(after, before) << "link delivery path allocated";
   EXPECT_EQ(delivered, 202u);
+}
+
+TEST(AllocGuard, LinkDeliveryIsZeroAllocWithNoRecorderInstalled) {
+  // The default state: no flight recorder. Every TCPZ_TRACE site must be a
+  // not-taken branch, so the packet path allocates nothing — this is the
+  // same guarantee as LinkDeliveryIsZeroAlloc, restated with the tracing
+  // layer compiled in and explicitly uninstalled.
+  ASSERT_EQ(obs::recorder(), nullptr);
+  net::Simulator sim;
+  net::Host dst(sim, "dst", tcp::ipv4(10, 2, 0, 1));
+  dst.set_handler([](SimTime, const tcp::Segment&) {});
+  net::Link link(sim, dst, 1e9, SimTime::microseconds(500), 1 << 20, "l");
+  const tcp::Segment chal = challenge_segment();
+  link.transmit(chal);
+  sim.run();
+
+  const std::uint64_t before = tcpz_alloc_count();
+  for (int i = 0; i < 100; ++i) {
+    link.transmit(chal);
+    sim.run();
+  }
+  EXPECT_EQ(tcpz_alloc_count(), before) << "untraced packet path allocated";
+}
+
+TEST(AllocGuard, LinkDeliveryIsZeroAllocWithTracingEnabled) {
+  // With a recorder installed, record() is a bounds-masked store into the
+  // preallocated ring — the packet path must STILL be allocation-free. The
+  // ring allocation itself happens at Recorder construction, outside the
+  // counted scope.
+  obs::Recorder rec(1u << 10);
+  obs::ScopedRecorder scoped(&rec);
+
+  net::Simulator sim;
+  net::Host dst(sim, "dst", tcp::ipv4(10, 2, 0, 1));
+  dst.set_handler([](SimTime, const tcp::Segment&) {});
+  net::Link link(sim, dst, 1e9, SimTime::microseconds(500), 1 << 20, "l");
+  const tcp::Segment chal = challenge_segment();
+  link.transmit(chal);
+  sim.run();
+  ASSERT_GT(rec.total_recorded(), 0u) << "tracepoints not reaching the ring";
+
+  const std::uint64_t before = tcpz_alloc_count();
+  for (int i = 0; i < 1000; ++i) {  // enough to wrap the 1024-event ring
+    link.transmit(chal);
+    sim.run();
+  }
+  EXPECT_EQ(tcpz_alloc_count(), before) << "traced packet path allocated";
+  EXPECT_GT(rec.overwritten(), 0u) << "ring wrap itself must be alloc-free";
 }
 
 // ---------------------------------------------------------------------------

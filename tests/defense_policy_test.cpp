@@ -348,7 +348,8 @@ TEST_F(PolicyListenerTest, CustomPolicyViaFactory) {
   EXPECT_TRUE(listener.protection_active());
   const SimTime t = SimTime::seconds(1);
   EXPECT_TRUE(listener.on_segment(t, make_syn(kClientAddr, 40000, 1, t)).empty());
-  EXPECT_EQ(listener.counters().drops_listen_full, 1u);
+  EXPECT_EQ(listener.counters().drops_policy, 1u);
+  EXPECT_EQ(listener.counters().drops_queue_overflow, 0u);
   EXPECT_EQ(listener.listen_depth(), 0u);
 }
 

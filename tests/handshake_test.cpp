@@ -207,7 +207,8 @@ TEST_F(ListenerTest, NoDefenseDropsSynsWhenFull) {
   EXPECT_EQ(listener_->listen_depth(), 4u);
   const auto out = listener_->on_segment(t, make_syn(kClientAddr, 40000, 5, t));
   EXPECT_TRUE(out.empty());
-  EXPECT_EQ(listener_->counters().drops_listen_full, 1u);
+  EXPECT_EQ(listener_->counters().drops_queue_overflow, 1u);
+  EXPECT_EQ(listener_->counters().drops_policy, 0u);
   EXPECT_FALSE(run_handshake(40001, t));  // denial of service
 }
 

@@ -74,8 +74,11 @@ fleet::FleetScenarioConfig fleet_scenario(sim::AttackType attack) {
   return f;
 }
 
-// Golden values recorded from the pre-refactor (AttackType-branching
-// attacker + twin scenario engines) implementation at commit 0f3c11f.
+// Golden values originally recorded from the pre-refactor
+// (AttackType-branching attacker + twin scenario engines) implementation at
+// commit 0f3c11f. Re-recorded once when drops_listen_full split into
+// drops_queue_overflow + drops_policy (the counter digest gained a field;
+// run behavior verified unchanged).
 struct Golden {
   sim::AttackType attack;
   std::uint64_t sim_digest;
@@ -83,10 +86,10 @@ struct Golden {
 };
 
 constexpr Golden kGolden[] = {
-    {sim::AttackType::kSynFlood, 0xa1bf5fd80d20f5abull, 0x0eb2164b48d3d516ull},
-    {sim::AttackType::kConnFlood, 0xbf7e0d3915fb0e1cull, 0xeea67f3797d52fafull},
-    {sim::AttackType::kBogusSolutionFlood, 0xe2a91ae7bc082e32ull,
-     0xe5a660615807a98eull},
+    {sim::AttackType::kSynFlood, 0xb90ab27477811890ull, 0x0de6bd026203e5c4ull},
+    {sim::AttackType::kConnFlood, 0x5c6b1ff23a8e49beull, 0x0ed206d6ba64d2f4ull},
+    {sim::AttackType::kBogusSolutionFlood, 0xb613e0a3d2c82cf7ull,
+     0x502b7b866c952d63ull},
 };
 
 class ScenarioTrace : public ::testing::TestWithParam<Golden> {};

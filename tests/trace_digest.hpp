@@ -2,6 +2,12 @@
 // (policy_trace_test, scenario_trace_test). A digest folds every field of a
 // result struct in declaration order, so "digest unchanged" means the run is
 // byte-for-byte identical as far as the struct can see.
+//
+// Field lists are expanded from the X-macro tables that declare the structs
+// (TCPZ_LISTENER_COUNTER_FIELDS, TCPZ_HOST_REPORT_*_FIELDS), so a newly
+// added field is folded automatically — it can no longer be forgotten here.
+// The flip side: adding a field now ALWAYS perturbs the goldens (by design;
+// a counter that never affects a digest is a counter nobody is testing).
 #pragma once
 
 #include <bit>
@@ -26,40 +32,12 @@ inline std::uint64_t fnv_d(std::uint64_t h, double v) {
 
 inline constexpr std::uint64_t kFnvBasis = 1469598103934665603ull;
 
-/// FNV-1a over every ListenerCounters field, in declaration order.
+/// FNV-1a over every ListenerCounters field, in table (declaration) order.
 inline std::uint64_t digest(const tcp::ListenerCounters& c) {
   std::uint64_t h = kFnvBasis;
-  h = fnv(h, c.syns_received);
-  h = fnv(h, c.synacks_sent);
-  h = fnv(h, c.plain_synacks);
-  h = fnv(h, c.challenges_sent);
-  h = fnv(h, c.cookies_sent);
-  h = fnv(h, c.synack_retx);
-  h = fnv(h, c.drops_listen_full);
-  h = fnv(h, c.acks_received);
-  h = fnv(h, c.solution_acks);
-  h = fnv(h, c.solutions_valid);
-  h = fnv(h, c.solutions_invalid);
-  h = fnv(h, c.solutions_expired);
-  h = fnv(h, c.solutions_bad_ackno);
-  h = fnv(h, c.solutions_duplicate);
-  h = fnv(h, c.acks_ignored_accept_full);
-  h = fnv(h, c.cookies_valid);
-  h = fnv(h, c.cookies_invalid);
-  h = fnv(h, c.cookie_drops_accept_full);
-  h = fnv(h, c.acks_pending_accept);
-  h = fnv(h, c.established_total);
-  h = fnv(h, c.established_queue);
-  h = fnv(h, c.established_cookie);
-  h = fnv(h, c.established_puzzle);
-  h = fnv(h, c.half_open_expired);
-  h = fnv(h, c.rsts_sent);
-  h = fnv(h, c.data_segments);
-  h = fnv(h, c.data_unknown_flow);
-  h = fnv(h, c.secret_rotations);
-  h = fnv(h, c.solutions_valid_prev_epoch);
-  h = fnv(h, c.solutions_replay_filtered);
-  h = fnv(h, c.crypto_hash_ops);
+#define TCPZ_X(name, help) h = fnv(h, c.name);
+  TCPZ_LISTENER_COUNTER_FIELDS(TCPZ_X)
+#undef TCPZ_X
   return h;
 }
 
@@ -82,23 +60,15 @@ inline std::uint64_t fold_gauge(std::uint64_t h, const GaugeSeries& g) {
 /// connection-time sample set of one client/bot report.
 inline std::uint64_t digest(const sim::HostReport& r) {
   std::uint64_t h = kFnvBasis;
-  h = fold_series(h, r.rx_bytes);
-  h = fold_series(h, r.tx_bytes);
-  h = fold_series(h, r.attempts);
-  h = fold_series(h, r.established);
-  h = fold_series(h, r.completions);
-  h = fold_series(h, r.failures);
-  h = fold_series(h, r.refusals);
+#define TCPZ_X(name, help) h = fold_series(h, r.name);
+  TCPZ_HOST_REPORT_SERIES_FIELDS(TCPZ_X)
+#undef TCPZ_X
   h = fnv(h, r.conn_time_ms.count());
   for (const double s : r.conn_time_ms.sorted()) h = fnv_d(h, s);
   h = fold_gauge(h, r.cpu);
-  h = fnv(h, r.total_attempts);
-  h = fnv(h, r.total_established);
-  h = fnv(h, r.total_completions);
-  h = fnv(h, r.total_failures);
-  h = fnv(h, r.total_rsts);
-  h = fnv(h, r.challenges_seen);
-  h = fnv(h, r.solves_refused);
+#define TCPZ_X(name, help) h = fnv(h, r.name);
+  TCPZ_HOST_REPORT_TOTAL_FIELDS(TCPZ_X)
+#undef TCPZ_X
   return h;
 }
 
