@@ -111,6 +111,12 @@ inline void register_result(const tcpz::scenario::Result& res,
   for (const auto& c : res.clients) {
     obs::register_metrics(g_registry, c, prefix + "role=client");
   }
+  for (const auto& f : res.fluid) {
+    // Aggregate fluid-population reports (hybrid workloads): series and
+    // totals are scaled in whole users, under their own role label so
+    // fleet-wide legit metrics are role=client + role=fluid.
+    obs::register_metrics(g_registry, f, prefix + "role=fluid");
+  }
   for (const auto& g : res.groups) {
     for (const auto& b : g.bots) {
       obs::register_metrics(g_registry, b, prefix + "role=bot,group=" + g.name);

@@ -14,8 +14,14 @@
 #include "crypto/sha256.hpp"
 #include "game/planner.hpp"
 #include "sim/devices.hpp"
+#include "workload/profiles.hpp"
 
 using namespace tcpz;
+
+// The Fig. 3 constants this bench validates live in workload/profiles.hpp —
+// the same single source the ClientAgent defaults and the fluid population
+// price against.
+namespace profiles = workload::profiles;
 
 namespace {
 
@@ -72,7 +78,8 @@ int main(int argc, char** argv) {
   for (const auto& dev : sim::kClientCpus) {
     rates.push_back(dev.hash_rate);
     std::printf("%-8s %-45s %14.0f %18.0f\n", dev.name.data(),
-                dev.description.data(), dev.hash_rate, dev.hash_rate * 0.4);
+                dev.description.data(), dev.hash_rate,
+                dev.hash_rate * profiles::kWavWindowSec);
   }
   const double w_av = game::estimate_wav_fleet(rates);
   std::printf("%-8s %-45s %14s %18.0f  <- w_av\n", "fleet", "average", "",
@@ -81,14 +88,15 @@ int main(int argc, char** argv) {
   const double host_rate = measure_host_hash_rate();
   std::printf("%-8s %-45s %14.0f %18.0f  (real measurement, context only)\n",
               "host", "this machine, single thread, our SHA-256", host_rate,
-              host_rate * 0.4);
+              host_rate * profiles::kWavWindowSec);
 
   benchutil::check("fleet w_av matches the paper's 140630 within 1%",
-                   std::abs(w_av - 140'630.0) / 140'630.0 < 0.01);
+                   std::abs(w_av - profiles::kClientWav) / profiles::kClientWav <
+                       0.01);
   benchutil::check("every modeled client solves >= 100k hashes in 400 ms",
                    [&] {
                      for (double r : rates) {
-                       if (r * 0.4 < 100'000) return false;
+                       if (r * profiles::kWavWindowSec < 100'000) return false;
                      }
                      return true;
                    }());
@@ -113,7 +121,9 @@ int main(int argc, char** argv) {
   std::printf("estimated mu at saturation:      %.1f req/s\n", mu_high);
 
   benchutil::check("service rate saturates near the configured mu=1100 (+-15%)",
-                   std::abs(mu_high - 1100.0) / 1100.0 < 0.15);
+                   std::abs(mu_high - profiles::kServiceRateMu) /
+                           profiles::kServiceRateMu <
+                       0.15);
   benchutil::check("alpha decreases with concurrency and ends near mu/c",
                    points.front().service_rate / points.front().concurrent_requests >
                        alpha);

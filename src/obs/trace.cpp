@@ -63,6 +63,7 @@ const char* to_string(Cat c) {
     case Cat::kLink: return "link";
     case Cat::kSecret: return "secret";
     case Cat::kLb: return "lb";
+    case Cat::kFluid: return "fluid";
   }
   return "?";
 }
@@ -117,6 +118,10 @@ const char* to_string(Code c) {
     case Code::kLbPick: return "lb_pick";
     case Code::kLbNoBackend: return "lb_no_backend";
     case Code::kLbEvict: return "lb_evict";
+    case Code::kFluidOffer: return "fluid_offer";
+    case Code::kFluidChallenge: return "fluid_challenge";
+    case Code::kFluidEstablish: return "fluid_establish";
+    case Code::kFluidDeceive: return "fluid_deceive";
   }
   return "?";
 }

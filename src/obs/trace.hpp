@@ -47,8 +47,9 @@ enum class Cat : std::uint8_t {
   kLink = 4,      ///< wire transit and queue drops
   kSecret = 5,    ///< secret rotations and overlap windows
   kLb = 6,        ///< balancer dispatch decisions
+  kFluid = 7,     ///< aggregate fluid-population admissions (per tick)
 };
-inline constexpr unsigned kCatCount = 7;
+inline constexpr unsigned kCatCount = 8;
 [[nodiscard]] constexpr std::uint32_t cat_bit(Cat c) {
   return 1u << static_cast<unsigned>(c);
 }
@@ -114,6 +115,11 @@ enum class Code : std::uint8_t {
   kLbPick,               ///< balancer dispatched a segment (a0 = backend)
   kLbNoBackend,          ///< no live backend; segment dropped
   kLbEvict,              ///< failover evicted a tracked flow (a0 = backend)
+  // -- kFluid ---------------------------------------------------------------
+  kFluidOffer,           ///< fluid SYN mass offered (a0 = mass x1000, a1 = dropped x1000)
+  kFluidChallenge,       ///< fluid mass challenged (a0 = mass x1000, a1 = k<<8|m)
+  kFluidEstablish,       ///< fluid mass admitted (a0 = mass x1000, a1 = puzzle path)
+  kFluidDeceive,         ///< fluid mass deceived at full accept (a0 = mass x1000, a1 = puzzle path)
 };
 
 /// The category a code reports under (drives masking and export grouping).
@@ -124,7 +130,8 @@ enum class Code : std::uint8_t {
   if (c <= Code::kFire) return Cat::kEvent;
   if (c <= Code::kLinkDrop) return Cat::kLink;
   if (c <= Code::kSecretOverlapEnd) return Cat::kSecret;
-  return Cat::kLb;
+  if (c <= Code::kLbEvict) return Cat::kLb;
+  return Cat::kFluid;
 }
 
 [[nodiscard]] const char* to_string(Cat c);

@@ -23,6 +23,7 @@
 #include "sim/attacker_agent.hpp"
 #include "sim/client_agent.hpp"
 #include "sim/server_agent.hpp"
+#include "workload/fluid.hpp"
 
 namespace tcpz::scenario {
 namespace {
@@ -143,18 +144,29 @@ std::uint64_t AttackGroupReport::total_attempts() const {
   return sum;
 }
 
+namespace {
+/// Applies `fn` to every legitimate-population report: the discrete cohort
+/// and the fluid aggregates (each of the latter stands for many users).
+template <typename F>
+void for_each_legit(const Result& r, F&& fn) {
+  for (const auto& c : r.clients) fn(c);
+  for (const auto& c : r.fluid) fn(c);
+}
+}  // namespace
+
 double Result::client_rx_mbps(std::size_t from, std::size_t to) const {
   double sum = 0;
-  for (const auto& c : clients) sum += c.rx_mbps(from, to);
+  for_each_legit(*this,
+                 [&](const sim::HostReport& c) { sum += c.rx_mbps(from, to); });
   return sum;
 }
 
 double Result::client_success_ratio() const {
   std::uint64_t attempts = 0, completions = 0;
-  for (const auto& c : clients) {
+  for_each_legit(*this, [&](const sim::HostReport& c) {
     attempts += c.total_attempts;
     completions += c.total_completions;
-  }
+  });
   return attempts ? static_cast<double>(completions) /
                         static_cast<double>(attempts)
                   : 0.0;
@@ -163,13 +175,13 @@ double Result::client_success_ratio() const {
 double Result::client_wire_success_pct(std::size_t from,
                                        std::size_t to) const {
   double attempts = 0, completions = 0, refused = 0;
-  for (const auto& c : clients) {
+  for_each_legit(*this, [&](const sim::HostReport& c) {
     for (std::size_t t = from; t < to; ++t) {
       attempts += c.attempts.total(t);
       completions += c.completions.total(t);
       refused += c.refusals.total(t);
     }
-  }
+  });
   const double wire = attempts - refused;
   // Completions bin later than their attempts (solve + RTT + response), so
   // a window can complete slightly more than it started; clamp to 100.
@@ -178,12 +190,12 @@ double Result::client_wire_success_pct(std::size_t from,
 
 double Result::client_success_pct(std::size_t from, std::size_t to) const {
   double attempts = 0, completions = 0;
-  for (const auto& c : clients) {
+  for_each_legit(*this, [&](const sim::HostReport& c) {
     for (std::size_t t = from; t < to; ++t) {
       attempts += c.attempts.total(t);
       completions += c.completions.total(t);
     }
-  }
+  });
   return attempts > 0 ? 100.0 * completions / attempts : 0.0;
 }
 
@@ -291,10 +303,19 @@ Result run(const Spec& spec) {
     }
   }
 
+  // Discrete legitimate clients: all of them under the open-loop model, the
+  // sampled cohort under a hybrid model (the fluid remainder never gets
+  // hosts — it enters the listeners as aggregate mass).
+  const workload::ModelSpec wmodel = spec.workload.model_spec();
+  const int n_discrete =
+      wmodel.kind == workload::ModelSpec::Kind::kHybridFluid
+          ? static_cast<int>(wmodel.cohort_size())
+          : spec.workload.n_clients;
+
   std::vector<net::Host*> client_hosts;
   const net::LinkSpec host_link{spec.net.host_link_bps, spec.net.link_delay,
                                 1u << 20};
-  for (int i = 0; i < spec.workload.n_clients; ++i) {
+  for (int i = 0; i < n_discrete; ++i) {
     net::Host* h = topo.add_host("client" + std::to_string(i), client_addr(i));
     topo.connect(h, i % 2 == 0 ? r2 : r3, host_link);
     client_hosts.push_back(h);
@@ -412,8 +433,9 @@ Result run(const Spec& spec) {
   // derive from the challenge bytes alone, exactly like a real brute-force
   // solver.
   std::vector<std::unique_ptr<sim::ClientAgent>> clients;
-  for (int i = 0; i < spec.workload.n_clients; ++i) {
+  for (int i = 0; i < n_discrete; ++i) {
     sim::ClientAgentConfig ccfg;
+    ccfg.model = wmodel.factory();
     ccfg.server_addr = kServerAddr;
     ccfg.server_port = kServerPort;
     ccfg.request_rate = spec.workload.request_rate;
@@ -433,6 +455,62 @@ Result run(const Spec& spec) {
         sim, *client_hosts[static_cast<std::size_t>(i)], ccfg,
         seeds.next(Role::kClient, 0, static_cast<std::uint64_t>(i))));
     clients.back()->start(spec.duration);
+  }
+
+  // Hybrid fluid remainder: the users beyond the sampled cohort enter the
+  // listeners as aggregate mass, one population per server that takes
+  // legitimate traffic (the fleet's balancer spreads clients across
+  // replicas; addressable groups send them all to the canonical first
+  // server, and the fluid mass follows suit). Deterministic — no hosts, no
+  // packets, no RNG draws — so adding fluid users never perturbs any
+  // discrete agent's stream.
+  std::vector<std::unique_ptr<workload::FluidPopulation>> fluids;
+  std::vector<tcp::Listener*> fluid_listeners;
+  if (wmodel.kind == workload::ModelSpec::Kind::kHybridFluid &&
+      wmodel.fluid_users() > 0) {
+    const int n_targets = spec.fleet.enabled ? spec.servers.count : 1;
+    const double per_users = static_cast<double>(wmodel.fluid_users()) /
+                             static_cast<double>(n_targets);
+    const double cohort_per =
+        static_cast<double>(n_discrete) / static_cast<double>(n_targets);
+    for (int i = 0; i < n_targets; ++i) {
+      workload::FluidConfig fc;
+      fc.users = per_users;
+      fc.request_rate = wmodel.request_rate;
+      fc.request_bytes = wmodel.request_bytes;
+      fc.response_bytes = wmodel.response_bytes;
+      fc.solve_puzzles = spec.workload.solve_puzzles;
+      fc.hash_rate = spec.workload.cpu.hash_rate;
+      fc.solver_lanes = spec.workload.cpu.solver_lanes;
+      fc.cores = spec.workload.cpu.cores;
+      fc.max_pending_solves = wmodel.max_pending_solves;
+      // Proportional share of the replica's drain rate between the fluid
+      // mass and the discrete cohort aimed at the same listener.
+      fc.service_rate = service_rate * per_users /
+                        std::max(1.0, per_users + cohort_per);
+      fc.response_timeout = spec.workload.response_timeout;
+      fluids.push_back(std::make_unique<workload::FluidPopulation>(
+          fc, spec.servers.difficulty));
+      fluid_listeners.push_back(
+          &servers[static_cast<std::size_t>(i)]->listener());
+    }
+    // The tick/sample drivers, scheduled up front (bounded by duration, a
+    // few thousand events). Steps run after the agents' own tick loops at
+    // equal timestamps only by schedule order — deterministic either way.
+    const SimTime dt = spec.tick_interval;
+    for (SimTime t = dt; t <= spec.duration; t += dt) {
+      sim.schedule_at(t, [&fluids, &fluid_listeners, t, dt] {
+        for (std::size_t i = 0; i < fluids.size(); ++i) {
+          fluids[i]->step(t, dt, *fluid_listeners[i]);
+        }
+      });
+    }
+    for (SimTime t = spec.sample_interval; t <= spec.duration;
+         t += spec.sample_interval) {
+      sim.schedule_at(t, [&fluids, t] {
+        for (auto& f : fluids) f->sample(t);
+      });
+    }
   }
 
   // Bots, one agent per group member. Every bot gets the full target list;
@@ -505,6 +583,10 @@ Result run(const Spec& spec) {
     result.lb.failover_evictions = lb->failover_evictions();
   }
   for (auto& c : clients) result.clients.push_back(std::move(c->report()));
+  for (auto& f : fluids) result.fluid.push_back(std::move(f->report()));
+  if (wmodel.kind == workload::ModelSpec::Kind::kHybridFluid) {
+    result.fluid_users = wmodel.fluid_users();
+  }
   {
     std::size_t bot = 0;
     for (const AttackSpec& g : spec.attacks) {

@@ -42,6 +42,8 @@
 #include "sim/metrics.hpp"
 #include "tcp/counters.hpp"
 #include "util/time.hpp"
+#include "workload/profiles.hpp"
+#include "workload/spec.hpp"
 
 namespace tcpz::scenario {
 
@@ -62,17 +64,32 @@ struct NetworkSpec {
   SimTime link_delay = SimTime::microseconds(500);
 };
 
-/// Legitimate open-loop workload (§6 defaults; response size chosen to
-/// reproduce the ~16 Mbps/client nominal throughput of Figs. 7-8).
+/// Legitimate workload (§6 defaults; response size chosen to reproduce the
+/// ~16 Mbps/client nominal throughput of Figs. 7-8).
 struct WorkloadSpec {
   int n_clients = 15;
-  double request_rate = 20.0;
-  std::uint32_t request_bytes = 200;
-  std::uint32_t response_bytes = 100'000;
+  double request_rate = workload::profiles::kRequestRate;
+  std::uint32_t request_bytes = workload::profiles::kRequestBytes;
+  std::uint32_t response_bytes = workload::profiles::kResponseBytes;
   bool solve_puzzles = true;
-  sim::CpuSpec cpu{351'575.0, 4, 1};
-  int max_pending_solves = 4;
+  sim::CpuSpec cpu = workload::profiles::client_cpu();
+  int max_pending_solves = workload::profiles::kMaxPendingSolves;
   SimTime response_timeout = SimTime::seconds(10);
+  /// The workload model. Unset = the flat knobs above shimmed through
+  /// workload::ModelSpec::from_legacy (open-loop Poisson, byte-identical
+  /// traces). Set to ModelSpec::hybrid(users, cohort_ratio) for the fluid +
+  /// sampled-cohort population: `n_clients` is then ignored — the engine
+  /// instantiates model->cohort_size() discrete agents and aggregates
+  /// model->fluid_users() as fluid mass per server.
+  std::optional<workload::ModelSpec> model;
+
+  /// The effective model spec (resolves the legacy shim).
+  [[nodiscard]] workload::ModelSpec model_spec() const {
+    if (model) return *model;
+    return workload::ModelSpec::from_legacy(request_rate, request_bytes,
+                                            response_bytes,
+                                            max_pending_solves);
+  }
 };
 
 /// One homogeneous group of bots. A mixed heterogeneous botnet — IoT-class
@@ -107,9 +124,10 @@ struct ServerSpec {
   /// backlog (see sim::ScenarioConfig for the Fig. 11 reading).
   std::size_t listen_backlog = 4096;
   std::size_t accept_backlog = 1024;
-  double service_rate = 1100.0;  ///< µ from the Fig. 3b stress test
+  /// µ from the Fig. 3b stress test.
+  double service_rate = workload::profiles::kServiceRateMu;
   int n_workers = 1024;
-  sim::CpuSpec cpu{10'800'000.0, 12, 1};
+  sim::CpuSpec cpu = workload::profiles::server_cpu();
   SimTime app_idle_timeout = SimTime::seconds(5);
   std::uint32_t puzzle_expiry_ms = 4000;
   std::uint8_t sol_len = 4;
@@ -220,6 +238,14 @@ struct AttackGroupReport {
 struct Result {
   std::vector<sim::ServerReport> servers;
   std::vector<sim::HostReport> clients;
+  /// Aggregate fluid-population reports (hybrid workloads only): one per
+  /// server carrying fluid mass, with series/totals scaled in whole users.
+  /// The client_* aggregates below fold these in next to the discrete
+  /// cohort; mean_client_cpu stays cohort-only (a population gauge is an
+  /// N-user average, not comparable to a single host's).
+  std::vector<sim::HostReport> fluid;
+  /// Users modeled as fluid mass (0 for pure-discrete workloads).
+  std::uint64_t fluid_users = 0;
   std::vector<AttackGroupReport> groups;
   LbReport lb;
   tcp::ListenerCounters cluster;  ///< summed over servers

@@ -2,11 +2,25 @@
 
 #include <stdexcept>
 
+#include "workload/models.hpp"
+
 namespace tcpz::sim {
 
 ClientAgent::ClientAgent(net::Simulator& sim, net::Host& host,
                          ClientAgentConfig cfg, std::uint64_t seed)
-    : sim_(sim), host_(host), cfg_(std::move(cfg)), cpu_(cfg_.cpu), rng_(seed) {}
+    : sim_(sim),
+      host_(host),
+      cfg_(std::move(cfg)),
+      model_(cfg_.model ? cfg_.model()
+                        : std::make_unique<workload::OpenLoopPoisson>(
+                              cfg_.request_rate, cfg_.request_bytes,
+                              cfg_.response_bytes, cfg_.max_pending_solves)),
+      cpu_(cfg_.cpu),
+      rng_(seed) {}
+
+workload::ClientView ClientAgent::view(SimTime now) {
+  return {now, attempts_.size(), pending_solves_, &rng_};
+}
 
 void ClientAgent::start(SimTime until) {
   until_ = until;
@@ -27,8 +41,7 @@ void ClientAgent::send_all(const std::vector<tcp::Segment>& segs) {
 
 void ClientAgent::request_loop() {
   if (sim_.now() >= until_) return;
-  const SimTime next =
-      sim_.now() + SimTime::from_seconds(rng_.exponential(cfg_.request_rate));
+  const SimTime next = sim_.now() + model_->next_arrival(view(sim_.now()));
   if (next >= until_) return;
   sim_.schedule_at(next, [this] {
     start_attempt(sim_.now());
@@ -50,6 +63,8 @@ void ClientAgent::start_attempt(SimTime now) {
   }
   if (sport == 0) return;  // implausible: >64k live attempts
 
+  const workload::RequestShape shape = model_->request_shape(view(now));
+
   tcp::ConnectorConfig ccfg;
   ccfg.local_addr = host_.addr();
   ccfg.local_port = sport;
@@ -62,7 +77,7 @@ void ClientAgent::start_attempt(SimTime now) {
 
   auto [it, inserted] = attempts_.emplace(
       sport, Attempt{tcp::Connector(ccfg, rng_.next()), now,
-                     now + cfg_.response_timeout, false, 0, 0});
+                     now + cfg_.response_timeout, false, 0, shape, 0});
   report_.attempts.add(now, 1.0);
   ++report_.total_attempts;
   apply(now, sport, it->second, it->second.connector.start(now));
@@ -74,7 +89,7 @@ void ClientAgent::apply(SimTime now, std::uint16_t sport, Attempt& attempt,
 
   if (out.solve) {
     ++report_.challenges_seen;
-    if (pending_solves_ >= cfg_.max_pending_solves) {
+    if (!model_->accept_challenge(view(now), *out.solve)) {
       ++report_.solves_refused;
       report_.refusals.add(now, 1.0);
       finish_attempt(now, sport, false);
@@ -108,7 +123,8 @@ void ClientAgent::apply(SimTime now, std::uint16_t sport, Attempt& attempt,
     report_.conn_time_ms.add((now - attempt.started).to_millis());
     if (!attempt.request_sent) {
       attempt.request_sent = true;
-      send_all({attempt.connector.make_data_segment(now, cfg_.request_bytes)});
+      send_all(
+          {attempt.connector.make_data_segment(now, attempt.shape.request_bytes)});
     }
     return;
   }
@@ -141,7 +157,7 @@ void ClientAgent::on_segment(SimTime now, const tcp::Segment& seg) {
   if (attempt.connector.state() == tcp::ConnectorState::kEstablished &&
       seg.payload_bytes > 0 && !seg.is_rst()) {
     attempt.rx_payload += seg.payload_bytes;
-    if (attempt.rx_payload >= cfg_.response_bytes) {
+    if (attempt.rx_payload >= attempt.shape.response_bytes) {
       finish_attempt(now, seg.dport, true);
     }
     return;

@@ -1,9 +1,11 @@
-// A legitimate client: an open-loop request generator (Poisson arrivals at
-// rate r_c, as in §6's workload) where each request opens a fresh TCP
-// connection, sends a gettext request and waits for the response. Solving is
-// serial through the CPU model's solver lanes — the in-kernel search of the
-// patch — and attempts beyond the solver backlog cap fail immediately
-// (connect() backpressure).
+// A legitimate client: a request generator where each request opens a fresh
+// TCP connection, sends a gettext request and waits for the response. The
+// *demand* decisions — when the next attempt starts, how it is sized, and
+// whether a puzzle challenge is worth solving — are delegated to a pluggable
+// workload::TrafficModel (default: the paper's §6 open-loop Poisson model at
+// rate r_c). Solving is serial through the CPU model's solver lanes — the
+// in-kernel search of the patch — and attempts beyond the solver backlog cap
+// fail immediately (connect() backpressure).
 #pragma once
 
 #include <cstdint>
@@ -19,15 +21,17 @@
 #include "sim/metrics.hpp"
 #include "tcp/connector.hpp"
 #include "util/rng.hpp"
+#include "workload/model.hpp"
+#include "workload/profiles.hpp"
 
 namespace tcpz::sim {
 
 struct ClientAgentConfig {
   std::uint32_t server_addr = 0;
   std::uint16_t server_port = 80;
-  double request_rate = 20.0;  ///< requests per second (Poisson)
-  std::uint32_t request_bytes = 200;
-  std::uint32_t response_bytes = 100'000;
+  double request_rate = workload::profiles::kRequestRate;  ///< req/s (Poisson)
+  std::uint32_t request_bytes = workload::profiles::kRequestBytes;
+  std::uint32_t response_bytes = workload::profiles::kResponseBytes;
   bool solve_puzzles = true;  ///< patched kernel?
   double max_price_hashes = std::numeric_limits<double>::infinity();
   /// Shared puzzle engine (the oracle in simulations); required when the
@@ -35,11 +39,15 @@ struct ClientAgentConfig {
   /// derive from the challenge bytes alone, so one engine instance solves
   /// challenges from any server secret epoch (see DESIGN.md, Substitutions).
   std::shared_ptr<const puzzle::PuzzleEngine> engine;
-  CpuSpec cpu{351'575.0, 4, 1};
+  CpuSpec cpu = workload::profiles::client_cpu();
   /// Work-unit rate for solving (0 = cpu.hash_rate). Memory-bound puzzles
   /// pass cpu.mem_rate here.
   double solve_ops_rate = 0.0;
-  int max_pending_solves = 4;
+  int max_pending_solves = workload::profiles::kMaxPendingSolves;
+  /// Workload model factory. When empty, the agent builds the legacy
+  /// open-loop Poisson model from the flat knobs above (request_rate,
+  /// request/response bytes, max_pending_solves) — byte-identical traces.
+  workload::ModelFactory model;
   SimTime response_timeout = SimTime::seconds(10);
   SimTime syn_timeout = SimTime::seconds(1);
   int max_syn_retries = 3;
@@ -66,6 +74,8 @@ class ClientAgent {
     SimTime deadline;
     bool request_sent = false;
     std::uint64_t rx_payload = 0;
+    /// Sizing decided by the TrafficModel when the attempt started.
+    workload::RequestShape shape;
     /// Guards stale solve completions. Unlike the attacker's solve timers,
     /// the client's completion events are NOT descheduled when an attempt
     /// dies: the in-kernel search keeps a solver lane busy until it finishes
@@ -75,6 +85,7 @@ class ClientAgent {
     std::uint64_t solve_token = 0;
   };
 
+  [[nodiscard]] workload::ClientView view(SimTime now);
   void on_segment(SimTime now, const tcp::Segment& seg);
   void request_loop();
   void tick_loop();
@@ -88,6 +99,7 @@ class ClientAgent {
   net::Simulator& sim_;
   net::Host& host_;
   ClientAgentConfig cfg_;
+  std::unique_ptr<workload::TrafficModel> model_;
   CpuModel cpu_;
   Rng rng_;
   HostReport report_;

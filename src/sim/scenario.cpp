@@ -38,7 +38,8 @@ scenario::Spec ScenarioConfig::to_spec() const {
   s.workload = {n_clients,     client_rate,
                 request_bytes, response_bytes,
                 clients_solve, client_cpu,
-                client_max_pending_solves, client_response_timeout};
+                client_max_pending_solves, client_response_timeout,
+                /*model=*/std::nullopt};
   s.servers.count = 1;
   s.servers.policies = {policy_spec()};
   s.servers.difficulty = difficulty;

@@ -100,8 +100,7 @@ void ServerAgent::drain_accept_queue(SimTime now) {
 void ServerAgent::service_loop() {
   if (sim_.now() >= until_) return;
   // One request completion per Exp(µ).
-  const SimTime next = sim_.now() + SimTime::from_seconds(
-                                        rng_.exponential(cfg_.service_rate));
+  const SimTime next = sim_.now() + exp_interarrival(rng_, cfg_.service_rate);
   sim_.schedule_at(std::min(next, until_), [this] {
     const SimTime now = sim_.now();
     while (!ready_.empty()) {

@@ -21,16 +21,18 @@
 #include "sim/metrics.hpp"
 #include "tcp/listener.hpp"
 #include "util/rng.hpp"
+#include "workload/profiles.hpp"
 
 namespace tcpz::sim {
 
 struct ServerAgentConfig {
   tcp::ListenerConfig listener;
-  double service_rate = 1100.0;  ///< µ: request completions/s (Fig. 3b)
-  int n_workers = 1024;          ///< apache worker/thread pool size
-  std::uint32_t response_bytes = 100'000;
+  /// µ: request completions/s (Fig. 3b).
+  double service_rate = workload::profiles::kServiceRateMu;
+  int n_workers = 1024;  ///< apache worker/thread pool size
+  std::uint32_t response_bytes = workload::profiles::kResponseBytes;
   SimTime app_idle_timeout = SimTime::seconds(5);
-  CpuSpec cpu{10'800'000.0, 12, 1};  ///< §7: 10.8 Mhash/s server
+  CpuSpec cpu = workload::profiles::server_cpu();  ///< §7: 10.8 Mhash/s
   /// CPU charged per received packet (syscall/softirq cost).
   double per_packet_cpu_sec = 2e-6;
   SimTime tick_interval = SimTime::milliseconds(100);

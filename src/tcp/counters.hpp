@@ -50,7 +50,15 @@ namespace tcpz::tcp {
   X(secret_rotations, "puzzle-secret epochs installed")                        \
   X(solutions_valid_prev_epoch, "solutions verified in the rotation overlap window") \
   X(solutions_replay_filtered, "cluster-level replay rejections")              \
-  X(crypto_hash_ops, "hash operations charged to the server CPU model")
+  X(crypto_hash_ops, "hash operations charged to the server CPU model")        \
+  X(fluid_syns_offered, "aggregate fluid-population SYN mass offered (whole users)") \
+  X(fluid_enqueued, "fluid SYN mass admitted to the (virtual) listen queue")   \
+  X(fluid_challenged, "fluid SYN mass answered with puzzle challenges")        \
+  X(fluid_cookied, "fluid SYN mass answered with SYN cookies")                 \
+  X(fluid_dropped, "fluid SYN mass dropped (queue overflow or policy)")        \
+  X(fluid_solution_acks, "fluid solved-challenge mass re-offered as solution ACKs") \
+  X(fluid_established, "fluid handshake mass admitted (accept room available)") \
+  X(fluid_deceived, "fluid handshake mass ignored at full accept queue (deception)")
 
 /// Everything the evaluation measures, in one place. All counters are
 /// cumulative over the listener's lifetime. Fields are generated from

@@ -1,5 +1,7 @@
 #include "tcp/listener.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
@@ -87,14 +89,122 @@ void Listener::drop_previous_secret() { prev_.reset(); }
 
 defense::QueueView Listener::queue_view() const {
   defense::QueueView q;
-  q.listen_depth = listen_.size();
+  q.listen_depth = listen_.size() + static_cast<std::size_t>(fluid_listen_);
   q.listen_capacity = listen_.capacity();
-  q.listen_full = listen_.full();
-  q.accept_depth = accept_.size();
+  q.listen_full = listen_.full() || q.listen_depth >= q.listen_capacity;
+  q.accept_depth = accept_.size() + static_cast<std::size_t>(fluid_accept_);
   q.accept_capacity = accept_.capacity();
-  q.accept_full = accept_.full();
+  q.accept_full = accept_.full() || q.accept_depth >= q.accept_capacity;
   q.has_engine = engine_ != nullptr;
   return q;
+}
+
+void Listener::add_mass(std::uint64_t& counter, double& frac, double mass) {
+  frac += mass;
+  const double whole = std::floor(frac);
+  counter += static_cast<std::uint64_t>(whole);
+  frac -= whole;
+}
+
+void Listener::set_fluid_occupancy(double listen, double accept) {
+  fluid_listen_ = std::max(0.0, listen);
+  fluid_accept_ = std::max(0.0, accept);
+}
+
+Listener::FluidAdmission Listener::admit_fluid_syns(SimTime now,
+                                                    double offered) {
+  FluidAdmission out;
+  out.difficulty = cfg_.difficulty;
+  if (offered <= 0.0) return out;
+  observe_policy(now);
+  add_mass(counters_.fluid_syns_offered, frac_offered_, offered);
+
+  // One policy verdict covers the whole tick's mass: the same on_syn call a
+  // discrete SYN gets, over the combined queue view.
+  const defense::SynDecision verdict = policy_->on_syn(now, queue_view());
+  switch (verdict.action) {
+    case defense::SynAction::kChallenge:
+      if (engine_ == nullptr) {
+        out.dropped = offered;
+        break;
+      }
+      out.challenged = offered;
+      // g(p) = 1 hash per minted challenge, charged like the discrete path.
+      add_mass(counters_.crypto_hash_ops, frac_crypto_ops_, offered);
+      hash_ops_pending_ += static_cast<std::uint64_t>(offered);
+      break;
+    case defense::SynAction::kCookie:
+      out.cookied = offered;
+      add_mass(counters_.crypto_hash_ops, frac_crypto_ops_, offered);
+      hash_ops_pending_ += static_cast<std::uint64_t>(offered);
+      break;
+    case defense::SynAction::kDrop:
+      out.dropped = offered;
+      break;
+    case defense::SynAction::kEnqueue: {
+      // Room-limited: the fluid share of the listen queue is whatever space
+      // the combined occupancy leaves.
+      const double room =
+          std::max(0.0, static_cast<double>(listen_.capacity()) -
+                            (static_cast<double>(listen_.size()) + fluid_listen_));
+      out.enqueued = std::min(offered, room);
+      out.dropped = offered - out.enqueued;
+      break;
+    }
+  }
+
+  add_mass(counters_.fluid_enqueued, frac_enqueued_, out.enqueued);
+  add_mass(counters_.fluid_challenged, frac_challenged_, out.challenged);
+  add_mass(counters_.fluid_cookied, frac_cookied_, out.cookied);
+  add_mass(counters_.fluid_dropped, frac_dropped_, out.dropped);
+  TCPZ_TRACE(now, obs::Code::kFluidOffer, cfg_.trace_track,
+             static_cast<std::uint64_t>(offered * 1000.0),
+             static_cast<std::uint64_t>(out.dropped * 1000.0));
+  if (out.challenged > 0.0) {
+    TCPZ_TRACE(now, obs::Code::kFluidChallenge, cfg_.trace_track,
+               static_cast<std::uint64_t>(out.challenged * 1000.0),
+               (static_cast<std::uint64_t>(cfg_.difficulty.k) << 8) |
+                   cfg_.difficulty.m);
+  }
+  return out;
+}
+
+double Listener::admit_fluid_handshakes(SimTime now, double offered,
+                                        bool puzzle_path) {
+  if (offered <= 0.0) return 0.0;
+  observe_policy(now);
+  if (puzzle_path) {
+    add_mass(counters_.fluid_solution_acks, frac_solutions_, offered);
+    // d(p) hashes per verification, charged like the discrete path.
+    const double verify_ops =
+        offered * cfg_.difficulty.expected_verify_hashes();
+    add_mass(counters_.crypto_hash_ops, frac_crypto_ops_, verify_ops);
+    hash_ops_pending_ += static_cast<std::uint64_t>(verify_ops);
+  }
+  // §5 semantics, aggregated: a saturated accept queue ignores the whole
+  // tick's completion mass (deception); otherwise the mass establishes up to
+  // the room the combined occupancy leaves.
+  double admitted = 0.0;
+  if (!accept_saturated()) {
+    const double room =
+        std::max(0.0, static_cast<double>(accept_.capacity()) -
+                          (static_cast<double>(accept_.size()) + fluid_accept_));
+    admitted = std::min(offered, room);
+  }
+  const double deceived = offered - admitted;
+  add_mass(counters_.fluid_established, frac_established_, admitted);
+  add_mass(counters_.fluid_deceived, frac_deceived_, deceived);
+  if (admitted > 0.0) {
+    TCPZ_TRACE(now, obs::Code::kFluidEstablish, cfg_.trace_track,
+               static_cast<std::uint64_t>(admitted * 1000.0),
+               puzzle_path ? 1u : 0u);
+  }
+  if (deceived > 0.0) {
+    TCPZ_TRACE(now, obs::Code::kFluidDeceive, cfg_.trace_track,
+               static_cast<std::uint64_t>(deceived * 1000.0),
+               puzzle_path ? 1u : 0u);
+  }
+  return admitted;
 }
 
 bool Listener::protection_active() const {
@@ -309,9 +419,10 @@ std::vector<Segment> Listener::handle_syn(SimTime now, const Segment& seg) {
     case defense::SynAction::kEnqueue:
       break;
   }
-  // No stateless answer and no room: the SYN is dropped even if the policy
-  // asked to enqueue (queue mechanics stay with the listener).
-  if (listen_.full()) {
+  // No stateless answer and no room (counting the fluid share): the SYN is
+  // dropped even if the policy asked to enqueue (queue mechanics stay with
+  // the listener).
+  if (listen_saturated()) {
     ++counters_.drops_queue_overflow;
     TCPZ_TRACE(now, obs::Code::kSynDropOverflow, cfg_.trace_track, flow);
     return {};
@@ -352,7 +463,7 @@ std::vector<Segment> Listener::handle_ack(SimTime now, const Segment& seg) {
   // is how a parked SYN_RECV entry eventually completes).
   if (HalfOpenEntry* entry = listen_.find(flow)) {
     if (seg.ack != entry->iss + 1) return {};  // stray or spoofed
-    if (accept_.full()) {
+    if (accept_saturated()) {
       // Linux semantics: the ACK is dropped and the connection request stays
       // in the SYN queue, retransmitting its SYN-ACK until it expires. It
       // completes only if the peer sends again while there is room. Flood
@@ -400,7 +511,7 @@ std::vector<Segment> Listener::handle_ack(SimTime now, const Segment& seg) {
     if (const auto mss = cookies_.decode(flow, client_isn, cookie, to_sec(now))) {
       ++counters_.cookies_valid;
       TCPZ_TRACE(now, obs::Code::kCookieValid, cfg_.trace_track, flow);
-      if (accept_.full()) {
+      if (accept_saturated()) {
         ++counters_.cookie_drops_accept_full;
         TCPZ_TRACE(now, obs::Code::kCookieDropFull, cfg_.trace_track, flow);
         return {};
@@ -483,7 +594,7 @@ std::vector<Segment> Listener::handle_solution_ack(SimTime now,
   // §5: while under attack, verify only when there is room to accept; a full
   // queue means the ACK is silently ignored (deception: the sender believes
   // the connection exists until its first data segment draws a RST).
-  if (accept_.full()) {
+  if (accept_saturated()) {
     ++counters_.acks_ignored_accept_full;
     TCPZ_TRACE(now, obs::Code::kSolutionIgnoredFull, cfg_.trace_track, flow);
     return {};

@@ -165,6 +165,44 @@ class Listener {
     replay_filter_ = std::move(filter);
   }
 
+  // -- aggregate (fluid) workload entry points -------------------------------
+  // The hybrid population model (src/workload/fluid.hpp) injects the
+  // aggregated legitimate demand of N users through these calls, once per
+  // simulation tick, as *fractional user mass* instead of per-packet events.
+  // The defense policy is consulted exactly as for a discrete SYN — over a
+  // QueueView that already folds in the fluid occupancy — so policies cannot
+  // tell fluid pressure from discrete pressure. One policy verdict covers a
+  // whole tick's mass (the fluid approximation). All fluid accounting lands
+  // in the dedicated fluid_* counters; discrete wire counters are never
+  // polluted, but crypto work (challenge minting, solution verification) is
+  // charged to the shared CPU accumulator like any other crypto op.
+
+  /// Outcome split of one tick's offered SYN mass.
+  struct FluidAdmission {
+    double enqueued = 0;    ///< admitted toward the (virtual) listen queue
+    double challenged = 0;  ///< answered with stateless puzzle challenges
+    double cookied = 0;     ///< answered with stateless SYN cookies
+    double dropped = 0;     ///< no room / policy drop
+    /// Difficulty the challenges were minted at (for solve-time modeling).
+    puzzle::Difficulty difficulty;
+  };
+  [[nodiscard]] FluidAdmission admit_fluid_syns(SimTime now, double offered);
+
+  /// Handshake-completion mass — final ACKs (queue/cookie paths) or solved
+  /// challenges re-offered as solution ACKs (`puzzle_path`) — competing for
+  /// accept-queue room. Returns the admitted (established) mass; the
+  /// remainder is the §5 deception outcome: the senders believe they
+  /// connected and will fail at their response timeout.
+  [[nodiscard]] double admit_fluid_handshakes(SimTime now, double offered,
+                                              bool puzzle_path);
+
+  /// Publishes the population's queue-occupancy contribution (parked
+  /// handshakes -> listen share, service backlog overflow -> accept share)
+  /// so discrete admission gates and policy decisions see combined depths.
+  void set_fluid_occupancy(double listen, double accept);
+  [[nodiscard]] double fluid_listen_occupancy() const { return fluid_listen_; }
+  [[nodiscard]] double fluid_accept_occupancy() const { return fluid_accept_; }
+
   // -- introspection ---------------------------------------------------------
   [[nodiscard]] std::size_t listen_depth() const { return listen_.size(); }
   [[nodiscard]] std::size_t accept_depth() const { return accept_.size(); }
@@ -218,8 +256,27 @@ class Listener {
   /// tracing that category — the untraced path is the bare observe call.
   void observe_policy(SimTime now);
 
-  /// The read-only listener snapshot handed to the defense policy.
+  /// The read-only listener snapshot handed to the defense policy. Depths
+  /// and full flags include the fluid occupancy (integer-truncated); with no
+  /// fluid population attached this reduces exactly to the discrete view.
   [[nodiscard]] defense::QueueView queue_view() const;
+
+  /// Discrete admission gates, fluid-aware: a queue is saturated when its
+  /// ring is full OR the combined discrete+fluid depth reaches capacity.
+  [[nodiscard]] bool listen_saturated() const {
+    return listen_.full() ||
+           listen_.size() + static_cast<std::size_t>(fluid_listen_) >=
+               listen_.capacity();
+  }
+  [[nodiscard]] bool accept_saturated() const {
+    return accept_.full() ||
+           accept_.size() + static_cast<std::size_t>(fluid_accept_) >=
+               accept_.capacity();
+  }
+
+  /// Accumulates fractional fluid mass into an integer counter, carrying the
+  /// sub-unit remainder in `frac` so long runs count every whole user.
+  static void add_mass(std::uint64_t& counter, double& frac, double mass);
 
   /// Truncation to the 32-bit millisecond wire clock (TCP timestamps and the
   /// challenge/solution blocks are 32-bit on the wire). This wraps every
@@ -258,6 +315,20 @@ class Listener {
   ReplayFilter replay_filter_;
   ListenerCounters counters_;
   std::uint64_t hash_ops_pending_ = 0;
+
+  // Fluid-population state: published occupancy plus the fractional
+  // remainders of every fluid counter and of the crypto-op charge.
+  double fluid_listen_ = 0;
+  double fluid_accept_ = 0;
+  double frac_offered_ = 0;
+  double frac_enqueued_ = 0;
+  double frac_challenged_ = 0;
+  double frac_cookied_ = 0;
+  double frac_dropped_ = 0;
+  double frac_solutions_ = 0;
+  double frac_established_ = 0;
+  double frac_deceived_ = 0;
+  double frac_crypto_ops_ = 0;
 };
 
 }  // namespace tcpz::tcp

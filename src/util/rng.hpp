@@ -10,6 +10,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/time.hpp"
+
 namespace tcpz {
 
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
@@ -107,5 +109,14 @@ class Rng {
   bool has_spare_normal_ = false;
   double spare_normal_ = 0.0;
 };
+
+/// One Poisson-process inter-arrival wait: Exp(rate) mapped onto the
+/// simulation clock. The client workload models and the server's M/M/1
+/// service loop all draw open-loop waits through this single helper, so the
+/// draw (one uniform, the same float pipeline) can never drift between call
+/// sites — the golden traces pin the exact sequence.
+[[nodiscard]] inline SimTime exp_interarrival(Rng& rng, double rate) {
+  return SimTime::from_seconds(rng.exponential(rate));
+}
 
 }  // namespace tcpz

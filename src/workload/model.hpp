@@ -1,0 +1,68 @@
+// TrafficModel: the pluggable legitimate-workload layer.
+//
+// Third of the pluggable trilogy: defense::DefensePolicy (PR 3) decides the
+// server's admission behaviour, offense::AttackStrategy (PR 5) decides the
+// bots' packet schedule, and workload::TrafficModel decides the legitimate
+// clients' demand. sim::ClientAgent consults its model at exactly three
+// decision points — when to start the next request attempt, how to size it,
+// and whether to pay for a puzzle challenge or abandon the attempt — over a
+// read-only ClientView. The driver owns all mechanics (connectors, sockets,
+// CPU charging, reporting); the model owns only the decisions, so swapping
+// models can never touch the protocol path.
+//
+// Determinism contract: ClientView hands the model the agent's own Rng.
+// Models draw from it at the agent's decision points and nowhere else, so a
+// model that reproduces the legacy draws (OpenLoopPoisson does) yields
+// byte-for-byte identical event streams — the golden trace tests pin this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "puzzle/types.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace tcpz::workload {
+
+/// What a TrafficModel may observe about its client when deciding.
+/// Read-only by construction (the Rng is the one deliberate exception: a
+/// draw is a decision, and the draw order is part of the pinned trace).
+struct ClientView {
+  SimTime now;                 ///< simulation clock
+  std::size_t inflight = 0;    ///< live request attempts (connector + wait)
+  int pending_solves = 0;      ///< puzzle solves queued on the client CPU
+  Rng* rng = nullptr;          ///< the agent's own deterministic stream
+};
+
+/// Byte sizing for one request attempt.
+struct RequestShape {
+  std::uint32_t request_bytes = 0;
+  std::uint32_t response_bytes = 0;
+};
+
+class TrafficModel {
+ public:
+  virtual ~TrafficModel() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Next-arrival decision: how long to wait before the next attempt starts.
+  [[nodiscard]] virtual SimTime next_arrival(const ClientView& view) = 0;
+
+  /// Request sizing for the attempt starting now.
+  [[nodiscard]] virtual RequestShape request_shape(const ClientView& view) = 0;
+
+  /// Retry/abandon decision at a challenge: true to queue the solve (the
+  /// agent charges the CPU and answers), false to abandon the attempt (the
+  /// agent counts a refusal).
+  [[nodiscard]] virtual bool accept_challenge(const ClientView& view,
+                                              const puzzle::Challenge& c) = 0;
+};
+
+/// Factory for per-client model instances (each agent owns its model, so
+/// models may keep per-client state without sharing).
+using ModelFactory = std::function<std::unique_ptr<TrafficModel>()>;
+
+}  // namespace tcpz::workload

@@ -1,0 +1,50 @@
+// Concrete TrafficModel implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/model.hpp"
+#include "workload/profiles.hpp"
+
+namespace tcpz::workload {
+
+/// The paper's §6 legitimate workload: open-loop Poisson arrivals at rate λ
+/// per user, fixed request/response sizes, and a bounded in-kernel solve
+/// queue (challenges beyond `max_pending` outstanding solves are refused).
+///
+/// This is a trace-exact port of the logic previously hard-wired in
+/// sim::ClientAgent: next_arrival() performs the identical Exp(λ) draw (via
+/// exp_interarrival) in the identical order, so legacy-seeded scenarios
+/// replay byte-for-byte.
+class OpenLoopPoisson final : public TrafficModel {
+ public:
+  OpenLoopPoisson(double request_rate, std::uint32_t request_bytes,
+                  std::uint32_t response_bytes, int max_pending)
+      : rate_(request_rate),
+        shape_{request_bytes, response_bytes},
+        max_pending_(max_pending) {}
+
+  [[nodiscard]] const char* name() const override {
+    return "open-loop-poisson";
+  }
+
+  [[nodiscard]] SimTime next_arrival(const ClientView& view) override {
+    return exp_interarrival(*view.rng, rate_);
+  }
+
+  [[nodiscard]] RequestShape request_shape(const ClientView&) override {
+    return shape_;
+  }
+
+  [[nodiscard]] bool accept_challenge(const ClientView& view,
+                                      const puzzle::Challenge&) override {
+    return view.pending_solves < max_pending_;
+  }
+
+ private:
+  double rate_;
+  RequestShape shape_;
+  int max_pending_;
+};
+
+}  // namespace tcpz::workload

@@ -97,6 +97,8 @@ TEST(ObsRecorder, EveryCodeMapsIntoItsCategoryBlock) {
   EXPECT_EQ(obs::cat_of(Code::kSecretOverlapEnd), Cat::kSecret);
   EXPECT_EQ(obs::cat_of(Code::kLbPick), Cat::kLb);
   EXPECT_EQ(obs::cat_of(Code::kLbEvict), Cat::kLb);
+  EXPECT_EQ(obs::cat_of(Code::kFluidOffer), Cat::kFluid);
+  EXPECT_EQ(obs::cat_of(Code::kFluidDeceive), Cat::kFluid);
 }
 
 // ---------------------------------------------------------------------------

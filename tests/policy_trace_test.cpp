@@ -66,7 +66,11 @@ std::uint64_t fleet_replica_digest(const fleet::FleetResult& r) {
 // byte-for-byte by the policy layer. Re-recorded once when
 // drops_listen_full split into drops_queue_overflow + drops_policy (the
 // digest input gained a field; every run's *behavior* was verified
-// unchanged — the split only renames which bucket each drop lands in).
+// unchanged — the split only renames which bucket each drop lands in), and
+// again when the fluid_* counters were appended for the hybrid workload
+// layer (eight always-zero fields in these discrete scenarios; the client
+// refactor and fluid-aware admission gates were first verified
+// byte-for-byte against the previous goldens before the field append).
 struct Golden {
   tcp::DefenseMode mode;
   const char* policy_name;
@@ -76,12 +80,12 @@ struct Golden {
 };
 
 constexpr Golden kGolden[] = {
-    {tcp::DefenseMode::kNone, "none", 0xad025a08372905f3ull,
-     0x7ac65367f93de47full, 0x7937fce35d08c11bull},
-    {tcp::DefenseMode::kSynCookies, "syncookies", 0x21bfff6cc1dc74bfull,
-     0x297cce43ffa00a0aull, 0x50f75bfa4386f517ull},
-    {tcp::DefenseMode::kPuzzles, "puzzles", 0xe6fd33eef57eec84ull,
-     0xbbcf68de113597b4ull, 0x35fdc55ce16e31a7ull},
+    {tcp::DefenseMode::kNone, "none", 0x7db6906c4e6938f3ull,
+     0xbf8d0af9d8657abeull, 0x7b186a312b421c1bull},
+    {tcp::DefenseMode::kSynCookies, "syncookies", 0xa54d6711bab473bfull,
+     0x4c0f7d6412492c3bull, 0x8a4fa4f0f6414c17ull},
+    {tcp::DefenseMode::kPuzzles, "puzzles", 0xe3fbbfc77c7e7084ull,
+     0x23892d9587ae90b0ull, 0x11a00188119118a7ull},
 };
 
 class PolicyTrace : public ::testing::TestWithParam<Golden> {};
