@@ -8,6 +8,7 @@
 #include "crypto/sha256.hpp"
 #include "puzzle/engine.hpp"
 #include "tcp/options.hpp"
+#include "tcp/wire_format.hpp"
 #include "tcp/syncookie.hpp"
 
 using namespace tcpz;

@@ -8,7 +8,7 @@
 #include "net/simulator.hpp"
 #include "puzzle/engine.hpp"
 #include "tcp/listener.hpp"
-#include "tcp/wire.hpp"
+#include "tcp/wire_format.hpp"
 #include "util/rng.hpp"
 
 using namespace tcpz;

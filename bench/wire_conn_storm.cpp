@@ -1,0 +1,174 @@
+// Real-wire connection-storm capacity: the defense policies on actual
+// sockets. A wire::Host (epoll + UDP loopback framing, unmodified
+// defense::DefensePolicy, real HMAC cookies and SHA-256 puzzle
+// verification) absorbs a patched wire::StormClient from a second thread.
+// Unlike every other bench, nothing here is simulated time: the conn/s
+// figures are wall-clock handshakes per second through the userspace stack,
+// one run per policy (none / puzzles / hybrid), so the capacity cost of the
+// defense layer itself is measured rather than modelled.
+//
+// --smoke shortens the storm for CI; --trace installs the flight recorder
+// for the puzzle run and exports Chrome trace JSON (the host thread is the
+// recorder's only writer, so a wire run traces exactly like a sim run).
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "crypto/secret.hpp"
+#include "defense/spec.hpp"
+#include "obs/export.hpp"
+#include "puzzle/engine.hpp"
+#include "wire/host.hpp"
+#include "wire/storm.hpp"
+
+namespace {
+
+struct RunResult {
+  tcpz::wire::StormStats storm;
+  tcpz::tcp::ListenerCounters counters;
+  tcpz::wire::HostStats host;
+};
+
+struct Params {
+  double conn_rate = 5000.0;
+  tcpz::SimTime duration = tcpz::SimTime::seconds(3);
+  bool trace = false;
+  std::size_t trace_ring = 1u << 16;
+};
+
+RunResult run_storm(const std::string& name, tcpz::defense::PolicySpec policy,
+                    const Params& p) {
+  using namespace tcpz;
+  const auto secret = crypto::SecretKey::from_seed(7);
+  puzzle::EngineConfig ecfg;
+  ecfg.sol_len = 4;
+  ecfg.expiry_ms = 60'000;
+  auto engine = std::make_shared<puzzle::Sha256PuzzleEngine>(secret, ecfg);
+
+  wire::HostConfig hc;
+  hc.listener.local_addr = tcp::ipv4(10, 1, 0, 1);
+  hc.listener.local_port = 80;
+  hc.listener.policy = policy.factory();
+  hc.listener.difficulty = {1, 8};  // real brute force, bench-sized
+  hc.listener.listen_backlog = 4096;
+  hc.listener.accept_backlog = 4096;
+  wire::Host host(hc, secret, 1, engine);
+
+  std::unique_ptr<obs::Recorder> rec;
+  if (p.trace) rec = std::make_unique<obs::Recorder>(p.trace_ring);
+  // Install before start(): the host thread is the recorder's only writer.
+  obs::ScopedRecorder scoped(rec.get());
+  host.start();
+
+  wire::StormConfig sc;
+  sc.server_udp_port = host.bound_port();
+  sc.conn_rate = p.conn_rate;
+  sc.duration = p.duration;
+  sc.max_inflight = 512;
+  sc.engine = engine;
+  sc.seed = 9;
+  wire::StormClient storm(sc, host.clock());
+  RunResult r;
+  r.storm = storm.run();
+
+  host.stop();
+  host.join();
+  r.counters = host.counters();
+  r.host = host.stats();
+
+  const std::string labels = "run=" + name;
+  host.publish_metrics(benchutil::g_registry, labels);
+  wire::register_metrics(benchutil::g_registry, r.storm, labels);
+  if (rec) {
+    const std::string path = "results/TRACE_" + benchutil::sanitize(
+        benchutil::g_artifact) + "_" + name + ".json";
+    obs::write_chrome_trace(*rec, {{0, "wire-host"}}, path);
+    std::printf("trace  %-40s %s (%llu events)\n", "chrome_trace", path.c_str(),
+                static_cast<unsigned long long>(rec->total_recorded()));
+  }
+
+  std::printf(
+      "%-8s attempts=%llu est=%llu (%.0f/s) solves=%llu hash_ops=%llu "
+      "challenges=%llu cookies=%llu rx=%llu tx=%llu\n",
+      name.c_str(), static_cast<unsigned long long>(r.storm.attempts),
+      static_cast<unsigned long long>(r.storm.established),
+      r.storm.established_per_s(),
+      static_cast<unsigned long long>(r.storm.solves),
+      static_cast<unsigned long long>(r.storm.hash_ops),
+      static_cast<unsigned long long>(r.counters.challenges_sent),
+      static_cast<unsigned long long>(r.counters.cookies_sent),
+      static_cast<unsigned long long>(r.host.rx_datagrams),
+      static_cast<unsigned long long>(r.host.tx_datagrams));
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tcpz;
+  const benchutil::Args args = benchutil::parse(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  benchutil::header(
+      "wire: conn storm",
+      "the defense layer costs little admission capacity on a real wire: "
+      "puzzle and hybrid policies sustain the storm's connection rate while "
+      "challenging every client (SS5-6 on sockets instead of the simulator)");
+
+  Params p;
+  p.trace = args.trace;
+  p.trace_ring = args.trace_ring;
+  if (smoke) {
+    p.conn_rate = 800.0;
+    p.duration = SimTime::milliseconds(500);
+  }
+
+  auto always_puzzles = defense::PolicySpec::puzzles();
+  always_puzzles.always_challenge = true;
+  const RunResult none = run_storm("none", defense::PolicySpec::none(), p);
+  const RunResult puzzles = run_storm("puzzles", always_puzzles, p);
+  const RunResult hybrid = run_storm("hybrid", defense::PolicySpec::hybrid(), p);
+
+  benchutil::metric("conn_per_s_none", none.storm.established_per_s());
+  benchutil::metric("conn_per_s_puzzles", puzzles.storm.established_per_s());
+  benchutil::metric("conn_per_s_hybrid", hybrid.storm.established_per_s());
+  benchutil::metric("established_none",
+                    static_cast<double>(none.storm.established));
+  benchutil::metric("established_puzzles",
+                    static_cast<double>(puzzles.storm.established));
+  benchutil::metric("established_hybrid",
+                    static_cast<double>(hybrid.storm.established));
+  benchutil::metric("hash_ops_puzzles",
+                    static_cast<double>(puzzles.storm.hash_ops));
+  benchutil::metric("connect_ms_mean_puzzles",
+                    puzzles.storm.connect_ms.count > 0
+                        ? puzzles.storm.connect_ms.sum /
+                              static_cast<double>(puzzles.storm.connect_ms.count)
+                        : 0.0);
+  benchutil::label("difficulty", "k=1,m=8");
+
+  benchutil::check("baseline admits connections on the wire",
+                   none.storm.established > 0);
+  benchutil::check("puzzle policy challenges every SYN",
+                   puzzles.counters.challenges_sent ==
+                       puzzles.counters.syns_received);
+  benchutil::check("puzzle admissions all paid real hash work",
+                   puzzles.storm.established > 0 &&
+                       puzzles.storm.hash_ops > puzzles.storm.established);
+  benchutil::check("hybrid admits connections on the wire",
+                   hybrid.storm.established > 0);
+  benchutil::check(
+      "defended capacity within 4x of baseline",
+      puzzles.storm.established_per_s() >
+          none.storm.established_per_s() / 4.0);
+  benchutil::check("no codec rejects on any run",
+                   none.host.decode_errors + puzzles.host.decode_errors +
+                           hybrid.host.decode_errors ==
+                       0);
+
+  return benchutil::finish();
+}

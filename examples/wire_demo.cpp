@@ -1,0 +1,100 @@
+// wire::Host + wire::StormClient quickstart: the defense layer on actual
+// sockets with none of the hand-rolled plumbing udp_live_demo carries. A
+// puzzle-protected host (epoll, timerfd ticks, unmodified DefensePolicy)
+// serves on a loopback UDP port; a storm client drives real handshakes at a
+// configurable rate with genuine SHA-256 solving, then an unsolving
+// bogus-ACK flood shows the verification path rejecting garbage.
+//
+//   ./build/examples/wire_demo [conn_rate] [seconds] [m]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/tcppuzzles.hpp"
+#include "defense/spec.hpp"
+#include "wire/host.hpp"
+#include "wire/storm.hpp"
+
+using namespace tcpz;
+
+namespace {
+
+void print_storm(const char* name, const wire::StormStats& s) {
+  std::printf("%-12s attempts=%llu established=%llu (%.0f/s) solves=%llu "
+              "hash_ops=%llu bogus_acks=%llu timeouts=%llu\n",
+              name, static_cast<unsigned long long>(s.attempts),
+              static_cast<unsigned long long>(s.established),
+              s.established_per_s(),
+              static_cast<unsigned long long>(s.solves),
+              static_cast<unsigned long long>(s.hash_ops),
+              static_cast<unsigned long long>(s.bogus_acks),
+              static_cast<unsigned long long>(s.timeouts));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double rate = argc > 1 ? std::atof(argv[1]) : 500.0;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 2.0;
+  const int m = argc > 3 ? std::atoi(argv[3]) : 12;
+
+  std::printf("== wire demo: puzzle defense on real sockets ==\n");
+  std::printf("storm: %.0f conn/s for %.1fs, difficulty (k=1, m=%d)\n\n",
+              rate, seconds, m);
+
+  const auto secret = crypto::SecretKey::from_seed(42);
+  puzzle::EngineConfig ecfg;
+  ecfg.sol_len = 4;
+  ecfg.expiry_ms = 60'000;
+  auto engine = std::make_shared<puzzle::Sha256PuzzleEngine>(secret, ecfg);
+
+  wire::HostConfig hc;
+  hc.listener.local_addr = tcp::ipv4(10, 1, 0, 1);
+  hc.listener.local_port = 80;
+  auto policy = defense::PolicySpec::puzzles();
+  policy.always_challenge = true;
+  hc.listener.policy = policy.factory();
+  hc.listener.difficulty = {1, static_cast<std::uint8_t>(m)};
+  wire::Host host(hc, secret, 1, engine);
+  host.start();
+  std::printf("host listening on 127.0.0.1:%u (model 10.1.0.1:80)\n\n",
+              host.bound_port());
+
+  // Phase 1: patched clients — every attempt solves its challenge.
+  wire::StormConfig sc;
+  sc.server_udp_port = host.bound_port();
+  sc.conn_rate = rate;
+  sc.duration = SimTime::from_seconds(seconds);
+  sc.engine = engine;
+  wire::StormClient patched(sc, host.clock());
+  print_storm("patched", patched.run());
+
+  // Phase 2: a bogus-solution flood — garbage ACKs that force the server to
+  // burn verification work and reject them.
+  sc.strategy = offense::StrategySpec::bogus_solution_flood();
+  sc.seed = 2;
+  wire::StormClient flood(sc, host.clock());
+  print_storm("bogus-flood", flood.run());
+
+  host.stop();
+  host.join();
+
+  const tcp::ListenerCounters& c = host.counters();
+  const wire::HostStats& hs = host.stats();
+  std::printf("\nhost: rx=%llu tx=%llu ticks=%llu accepted=%llu\n",
+              static_cast<unsigned long long>(hs.rx_datagrams),
+              static_cast<unsigned long long>(hs.tx_datagrams),
+              static_cast<unsigned long long>(hs.ticks),
+              static_cast<unsigned long long>(hs.accepted));
+  std::printf("listener: syns=%llu challenges=%llu solutions ok/bad=%llu/%llu "
+              "established=%llu\n",
+              static_cast<unsigned long long>(c.syns_received),
+              static_cast<unsigned long long>(c.challenges_sent),
+              static_cast<unsigned long long>(c.solutions_valid),
+              static_cast<unsigned long long>(c.solutions_invalid),
+              static_cast<unsigned long long>(c.established_total));
+  std::printf("\nEvery admission above paid real SHA-256 work; every garbage "
+              "solution was verified and rejected. Same DefensePolicy object "
+              "the simulator runs — different wire.\n");
+  return 0;
+}

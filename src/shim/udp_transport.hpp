@@ -4,7 +4,7 @@
 // The paper's artifact was a kernel patch; on a laptop without raw-socket
 // privileges, UDP encapsulation over 127.0.0.1 is the closest runnable
 // equivalent: real sockets, real scheduling, the full wire format of
-// tcp/wire.hpp (TCP header + options + checksum) on every datagram. The
+// tcp/wire_format.hpp (TCP header + options + checksum) on every datagram. The
 // endpoint map translates the model's IPv4 addresses to UDP ports.
 #pragma once
 
@@ -13,7 +13,7 @@
 #include <unordered_map>
 
 #include "tcp/segment.hpp"
-#include "tcp/wire.hpp"
+#include "tcp/wire_format.hpp"
 
 namespace tcpz::shim {
 

@@ -3,40 +3,12 @@
 #include <stdexcept>
 
 namespace tcpz::tcp {
-namespace {
-
-void append_challenge(Bytes& out, const ChallengeOption& c) {
-  const std::size_t body =
-      3 + (c.embedded_ts ? 4 : 0) + c.preimage.size();  // k, m, l [+T] + P
-  const std::size_t len = 2 + body;
-  if (len > 255) throw std::length_error("challenge option too long");
-  out.push_back(kOptChallenge);
-  out.push_back(static_cast<std::uint8_t>(len));
-  out.push_back(c.k);
-  out.push_back(c.m);
-  out.push_back(c.sol_len);
-  if (c.embedded_ts) put_u32be(out, *c.embedded_ts);
-  out.insert(out.end(), c.preimage.begin(), c.preimage.end());
-}
-
-void append_solution(Bytes& out, const SolutionOption& s) {
-  const std::size_t body = 3 + (s.embedded_ts ? 4 : 0) + s.solutions.size();
-  const std::size_t len = 2 + body;
-  if (len > 255) throw std::length_error("solution option too long");
-  out.push_back(kOptSolution);
-  out.push_back(static_cast<std::uint8_t>(len));
-  put_u16be(out, s.mss);
-  out.push_back(s.wscale);
-  if (s.embedded_ts) put_u32be(out, *s.embedded_ts);
-  out.insert(out.end(), s.solutions.begin(), s.solutions.end());
-}
-
-}  // namespace
 
 std::size_t Options::wire_size() const {
-  // Mirrors encode_options() exactly, without serializing: the link layer
-  // calls this for every transmitted segment to charge bandwidth, and the
-  // old encode-then-measure form heap-allocated a wire image per packet.
+  // Mirrors encode_options() (tcp/wire_format.cpp) exactly, without
+  // serializing: the link layer calls this for every transmitted segment to
+  // charge bandwidth, and the old encode-then-measure form heap-allocated a
+  // wire image per packet.
   std::size_t n = 0;
   if (mss) n += 4;
   if (wscale) n += 3;
@@ -53,139 +25,6 @@ std::size_t Options::wire_size() const {
     throw std::length_error("TCP options exceed 40 bytes");
   }
   return n;
-}
-
-Bytes encode_options(const Options& opts) {
-  Bytes out;
-  if (opts.mss) {
-    out.push_back(kOptMss);
-    out.push_back(4);
-    put_u16be(out, *opts.mss);
-  }
-  if (opts.wscale) {
-    out.push_back(kOptWscale);
-    out.push_back(3);
-    out.push_back(*opts.wscale);
-  }
-  if (opts.sack_permitted) {
-    out.push_back(kOptSackPerm);
-    out.push_back(2);
-  }
-  if (opts.ts) {
-    out.push_back(kOptTimestamps);
-    out.push_back(10);
-    put_u32be(out, opts.ts->tsval);
-    put_u32be(out, opts.ts->tsecr);
-  }
-  if (opts.challenge) append_challenge(out, *opts.challenge);
-  if (opts.solution) append_solution(out, *opts.solution);
-
-  while (out.size() % 4 != 0) out.push_back(kOptNop);
-  if (out.size() > kMaxOptionsBytes) {
-    throw std::length_error("TCP options exceed 40 bytes");
-  }
-  return out;
-}
-
-DecodeResult decode_options(std::span<const std::uint8_t> wire, Options& out) {
-  out = Options{};
-  if (wire.size() > kMaxOptionsBytes) return DecodeResult::kTooLong;
-
-  std::size_t i = 0;
-  while (i < wire.size()) {
-    const std::uint8_t kind = wire[i];
-    if (kind == kOptEnd) break;
-    if (kind == kOptNop) {
-      ++i;
-      continue;
-    }
-    if (i + 1 >= wire.size()) return DecodeResult::kTruncated;
-    const std::uint8_t len = wire[i + 1];
-    if (len < 2 || i + len > wire.size()) return DecodeResult::kBadLength;
-    const std::span<const std::uint8_t> body = wire.subspan(i + 2, len - 2);
-
-    switch (kind) {
-      case kOptMss: {
-        std::uint16_t v;
-        if (len != 4 || !get_u16be(body, 0, v)) return DecodeResult::kBadLength;
-        out.mss = v;
-        break;
-      }
-      case kOptWscale: {
-        if (len != 3) return DecodeResult::kBadLength;
-        out.wscale = body[0];
-        break;
-      }
-      case kOptSackPerm: {
-        if (len != 2) return DecodeResult::kBadLength;
-        out.sack_permitted = true;
-        break;
-      }
-      case kOptTimestamps: {
-        std::uint32_t tsval, tsecr;
-        if (len != 10 || !get_u32be(body, 0, tsval) || !get_u32be(body, 4, tsecr)) {
-          return DecodeResult::kBadLength;
-        }
-        out.ts = TimestampsOption{tsval, tsecr};
-        break;
-      }
-      case kOptChallenge: {
-        if (body.size() < 3) return DecodeResult::kBadLength;
-        ChallengeOption c;
-        c.k = body[0];
-        c.m = body[1];
-        c.sol_len = body[2];
-        // A declared pre-image longer than the engine bound cannot be a
-        // legal challenge; reject before the inline buffer would throw.
-        if (c.sol_len > kMaxPreimageBytes) return DecodeResult::kBadLength;
-        std::size_t off = 3;
-        const std::size_t rest = body.size() - off;
-        if (rest == c.sol_len) {
-          // no embedded timestamp
-        } else if (rest == static_cast<std::size_t>(c.sol_len) + 4) {
-          std::uint32_t ts;
-          if (!get_u32be(body, off, ts)) return DecodeResult::kBadLength;
-          c.embedded_ts = ts;
-          off += 4;
-        } else {
-          return DecodeResult::kBadLength;
-        }
-        c.preimage.assign(body.begin() + static_cast<long>(off), body.end());
-        out.challenge = std::move(c);
-        break;
-      }
-      case kOptSolution: {
-        if (body.size() < 3) return DecodeResult::kBadLength;
-        SolutionOption s;
-        std::uint16_t mss;
-        if (!get_u16be(body, 0, mss)) return DecodeResult::kBadLength;
-        s.mss = mss;
-        s.wscale = body[2];
-        s.solutions.assign(body.begin() + 3, body.end());
-        out.solution = std::move(s);
-        break;
-      }
-      default:
-        // Unknown option: skip by length (legacy behaviour).
-        break;
-    }
-    i += len;
-  }
-
-  // Interpretation pass for the solution block: when the segment carries a
-  // timestamps option, T rides in TSecr; otherwise the first 4 bytes of the
-  // block body after MSS/wscale are the embedded T.
-  if (out.solution && !out.ts) {
-    if (out.solution->solutions.size() < 4) return DecodeResult::kBadLength;
-    std::uint32_t ts;
-    if (!get_u32be(out.solution->solutions, 0, ts)) {
-      return DecodeResult::kBadLength;
-    }
-    out.solution->embedded_ts = ts;
-    out.solution->solutions.erase(out.solution->solutions.begin(),
-                                  out.solution->solutions.begin() + 4);
-  }
-  return DecodeResult::kOk;
 }
 
 }  // namespace tcpz::tcp

@@ -1,6 +1,9 @@
 // TCP header options, including the paper's challenge (0xfc) and solution
-// (0xfd) blocks (Figs. 4 and 5). The codec produces real wire bytes: options
-// are length-prefixed, NOP-padded to 32-bit alignment, and bounded by the 40
+// (0xfd) blocks (Figs. 4 and 5). This header holds the value types and the
+// arithmetic wire_size(); the (de)serialization itself lives in
+// tcp/wire_format.{hpp,cpp} — one bounds-checked codec shared by the
+// simulator, the UDP loopback shim and the real-wire host. Options are
+// length-prefixed, NOP-padded to 32-bit alignment, and bounded by the 40
 // byte TCP option-space limit, so the packet-size overhead the paper reports
 // is measurable here too.
 //
@@ -84,17 +87,5 @@ struct Options {
   /// encode_options() produces exactly this many bytes.
   [[nodiscard]] std::size_t wire_size() const;
 };
-
-/// Serialises to wire bytes (padded). Throws std::length_error when the
-/// encoding exceeds kMaxOptionsBytes.
-[[nodiscard]] Bytes encode_options(const Options& opts);
-
-enum class DecodeResult { kOk, kTruncated, kBadLength, kTooLong };
-
-/// Parses wire bytes. Unknown options are skipped via their length byte, as
-/// legacy TCP stacks do — this is what makes a non-patched client ignore the
-/// challenge block (§6.5). Returns kOk and fills `out` on success.
-[[nodiscard]] DecodeResult decode_options(std::span<const std::uint8_t> wire,
-                                          Options& out);
 
 }  // namespace tcpz::tcp

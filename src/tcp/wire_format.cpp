@@ -1,0 +1,311 @@
+#include "tcp/wire_format.hpp"
+
+#include <stdexcept>
+
+namespace tcpz::tcp {
+
+// -- option codec -------------------------------------------------------------
+
+namespace {
+
+void append_challenge(Bytes& out, const ChallengeOption& c) {
+  const std::size_t body =
+      3 + (c.embedded_ts ? 4 : 0) + c.preimage.size();  // k, m, l [+T] + P
+  const std::size_t len = 2 + body;
+  if (len > 255) throw std::length_error("challenge option too long");
+  out.push_back(kOptChallenge);
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.push_back(c.k);
+  out.push_back(c.m);
+  out.push_back(c.sol_len);
+  if (c.embedded_ts) put_u32be(out, *c.embedded_ts);
+  out.insert(out.end(), c.preimage.begin(), c.preimage.end());
+}
+
+void append_solution(Bytes& out, const SolutionOption& s) {
+  const std::size_t body = 3 + (s.embedded_ts ? 4 : 0) + s.solutions.size();
+  const std::size_t len = 2 + body;
+  if (len > 255) throw std::length_error("solution option too long");
+  out.push_back(kOptSolution);
+  out.push_back(static_cast<std::uint8_t>(len));
+  put_u16be(out, s.mss);
+  out.push_back(s.wscale);
+  if (s.embedded_ts) put_u32be(out, *s.embedded_ts);
+  out.insert(out.end(), s.solutions.begin(), s.solutions.end());
+}
+
+}  // namespace
+
+Bytes encode_options(const Options& opts) {
+  Bytes out;
+  if (opts.mss) {
+    out.push_back(kOptMss);
+    out.push_back(4);
+    put_u16be(out, *opts.mss);
+  }
+  if (opts.wscale) {
+    out.push_back(kOptWscale);
+    out.push_back(3);
+    out.push_back(*opts.wscale);
+  }
+  if (opts.sack_permitted) {
+    out.push_back(kOptSackPerm);
+    out.push_back(2);
+  }
+  if (opts.ts) {
+    out.push_back(kOptTimestamps);
+    out.push_back(10);
+    put_u32be(out, opts.ts->tsval);
+    put_u32be(out, opts.ts->tsecr);
+  }
+  if (opts.challenge) append_challenge(out, *opts.challenge);
+  if (opts.solution) append_solution(out, *opts.solution);
+
+  while (out.size() % 4 != 0) out.push_back(kOptNop);
+  if (out.size() > kMaxOptionsBytes) {
+    throw std::length_error("TCP options exceed 40 bytes");
+  }
+  return out;
+}
+
+DecodeResult decode_options(std::span<const std::uint8_t> wire, Options& out) {
+  out = Options{};
+  if (wire.size() > kMaxOptionsBytes) return DecodeResult::kTooLong;
+
+  std::size_t i = 0;
+  while (i < wire.size()) {
+    const std::uint8_t kind = wire[i];
+    if (kind == kOptEnd) break;
+    if (kind == kOptNop) {
+      ++i;
+      continue;
+    }
+    if (i + 1 >= wire.size()) return DecodeResult::kTruncated;
+    const std::uint8_t len = wire[i + 1];
+    if (len < 2 || i + len > wire.size()) return DecodeResult::kBadLength;
+    const std::span<const std::uint8_t> body = wire.subspan(i + 2, len - 2);
+
+    switch (kind) {
+      case kOptMss: {
+        std::uint16_t v;
+        if (len != 4 || !get_u16be(body, 0, v)) return DecodeResult::kBadLength;
+        out.mss = v;
+        break;
+      }
+      case kOptWscale: {
+        if (len != 3) return DecodeResult::kBadLength;
+        out.wscale = body[0];
+        break;
+      }
+      case kOptSackPerm: {
+        if (len != 2) return DecodeResult::kBadLength;
+        out.sack_permitted = true;
+        break;
+      }
+      case kOptTimestamps: {
+        std::uint32_t tsval, tsecr;
+        if (len != 10 || !get_u32be(body, 0, tsval) || !get_u32be(body, 4, tsecr)) {
+          return DecodeResult::kBadLength;
+        }
+        out.ts = TimestampsOption{tsval, tsecr};
+        break;
+      }
+      case kOptChallenge: {
+        if (body.size() < 3) return DecodeResult::kBadLength;
+        ChallengeOption c;
+        c.k = body[0];
+        c.m = body[1];
+        c.sol_len = body[2];
+        // A declared pre-image longer than the engine bound cannot be a
+        // legal challenge; reject before the inline buffer would throw. A
+        // zero-length pre-image cannot anchor the m-bit condition either —
+        // kBadLength instead of handing an empty challenge to the solver.
+        if (c.sol_len == 0 || c.sol_len > kMaxPreimageBytes) {
+          return DecodeResult::kBadLength;
+        }
+        std::size_t off = 3;
+        const std::size_t rest = body.size() - off;
+        if (rest == c.sol_len) {
+          // no embedded timestamp
+        } else if (rest == static_cast<std::size_t>(c.sol_len) + 4) {
+          std::uint32_t ts;
+          if (!get_u32be(body, off, ts)) return DecodeResult::kBadLength;
+          c.embedded_ts = ts;
+          off += 4;
+        } else {
+          return DecodeResult::kBadLength;
+        }
+        c.preimage.assign(body.begin() + static_cast<long>(off), body.end());
+        out.challenge = std::move(c);
+        break;
+      }
+      case kOptSolution: {
+        if (body.size() < 3) return DecodeResult::kBadLength;
+        SolutionOption s;
+        std::uint16_t mss;
+        if (!get_u16be(body, 0, mss)) return DecodeResult::kBadLength;
+        s.mss = mss;
+        s.wscale = body[2];
+        s.solutions.assign(body.begin() + 3, body.end());
+        out.solution = std::move(s);
+        break;
+      }
+      default:
+        // Unknown option: skip by length (legacy behaviour).
+        break;
+    }
+    i += len;
+  }
+
+  // Interpretation pass for the solution block: when the segment carries a
+  // timestamps option, T rides in TSecr; otherwise the first 4 bytes of the
+  // block body after MSS/wscale are the embedded T.
+  if (out.solution && !out.ts) {
+    if (out.solution->solutions.size() < 4) return DecodeResult::kBadLength;
+    std::uint32_t ts;
+    if (!get_u32be(out.solution->solutions, 0, ts)) {
+      return DecodeResult::kBadLength;
+    }
+    out.solution->embedded_ts = ts;
+    out.solution->solutions.erase(out.solution->solutions.begin(),
+                                  out.solution->solutions.begin() + 4);
+  }
+  // A solution block with no solution bytes at all can never verify (k >= 1
+  // and l >= 1 everywhere); reject it here rather than letting zero-length
+  // values reach the verification layer.
+  if (out.solution && out.solution->solutions.empty()) {
+    return DecodeResult::kBadLength;
+  }
+  return DecodeResult::kOk;
+}
+
+// -- segment codec ------------------------------------------------------------
+
+const char* to_string(WireDecodeError e) {
+  switch (e) {
+    case WireDecodeError::kTruncated: return "truncated";
+    case WireDecodeError::kBadDataOffset: return "bad-data-offset";
+    case WireDecodeError::kBadChecksum: return "bad-checksum";
+    case WireDecodeError::kBadOptions: return "bad-options";
+  }
+  return "unknown";
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+namespace {
+
+/// The IPv4 pseudo-header + TCP header/options image used for checksumming.
+/// `tcp_bytes` must hold the TCP bytes with the checksum field zeroed.
+std::uint16_t tcp_checksum(const Segment& seg,
+                           std::span<const std::uint8_t> tcp_bytes) {
+  Bytes pseudo;
+  pseudo.reserve(12 + tcp_bytes.size());
+  put_u32be(pseudo, seg.saddr);
+  put_u32be(pseudo, seg.daddr);
+  pseudo.push_back(0);
+  pseudo.push_back(6);  // protocol = TCP
+  put_u16be(pseudo, static_cast<std::uint16_t>(tcp_bytes.size()));
+  pseudo.insert(pseudo.end(), tcp_bytes.begin(), tcp_bytes.end());
+  return internet_checksum(pseudo);
+}
+
+}  // namespace
+
+Bytes encode_segment(const Segment& seg) {
+  const Bytes opts = encode_options(seg.options);
+
+  Bytes tcp;
+  tcp.reserve(kTcpHeaderSize + opts.size());
+  put_u16be(tcp, seg.sport);
+  put_u16be(tcp, seg.dport);
+  put_u32be(tcp, seg.seq);
+  put_u32be(tcp, seg.ack);
+  const auto data_off =
+      static_cast<std::uint8_t>((kTcpHeaderSize + opts.size()) / 4);
+  tcp.push_back(static_cast<std::uint8_t>(data_off << 4));
+  tcp.push_back(seg.flags);
+  put_u16be(tcp, seg.window);
+  put_u16be(tcp, 0);  // checksum placeholder
+  put_u16be(tcp, 0);  // urgent pointer
+  tcp.insert(tcp.end(), opts.begin(), opts.end());
+
+  const std::uint16_t csum = tcp_checksum(seg, tcp);
+  tcp[16] = static_cast<std::uint8_t>(csum >> 8);
+  tcp[17] = static_cast<std::uint8_t>(csum);
+
+  Bytes out;
+  out.reserve(kWirePreambleSize + tcp.size());
+  put_u32be(out, seg.saddr);
+  put_u32be(out, seg.daddr);
+  put_u32be(out, seg.payload_bytes);
+  out.insert(out.end(), tcp.begin(), tcp.end());
+  return out;
+}
+
+WireDecodeResult decode_segment(std::span<const std::uint8_t> wire) {
+  WireDecodeResult result;
+  if (wire.size() < kWirePreambleSize + kTcpHeaderSize) {
+    result.error = WireDecodeError::kTruncated;
+    return result;
+  }
+
+  Segment seg;
+  std::uint32_t payload;
+  (void)get_u32be(wire, 0, seg.saddr);
+  (void)get_u32be(wire, 4, seg.daddr);
+  (void)get_u32be(wire, 8, payload);
+  seg.payload_bytes = payload;
+
+  const std::span<const std::uint8_t> tcp = wire.subspan(kWirePreambleSize);
+  std::uint16_t v16;
+  std::uint32_t v32;
+  (void)get_u16be(tcp, 0, v16);
+  seg.sport = v16;
+  (void)get_u16be(tcp, 2, v16);
+  seg.dport = v16;
+  (void)get_u32be(tcp, 4, v32);
+  seg.seq = v32;
+  (void)get_u32be(tcp, 8, v32);
+  seg.ack = v32;
+
+  const unsigned header_len = (tcp[12] >> 4) * 4u;
+  if (header_len < kTcpHeaderSize || header_len > tcp.size()) {
+    result.error = WireDecodeError::kBadDataOffset;
+    return result;
+  }
+  seg.flags = tcp[13];
+  (void)get_u16be(tcp, 14, v16);
+  seg.window = v16;
+  std::uint16_t wire_csum;
+  (void)get_u16be(tcp, 16, wire_csum);
+
+  // Recompute the checksum with the field zeroed.
+  Bytes tcp_copy(tcp.begin(), tcp.begin() + header_len);
+  tcp_copy[16] = 0;
+  tcp_copy[17] = 0;
+  if (tcp_checksum(seg, tcp_copy) != wire_csum) {
+    result.error = WireDecodeError::kBadChecksum;
+    return result;
+  }
+
+  const std::span<const std::uint8_t> opts =
+      tcp.subspan(kTcpHeaderSize, header_len - kTcpHeaderSize);
+  if (decode_options(opts, seg.options) != DecodeResult::kOk) {
+    result.error = WireDecodeError::kBadOptions;
+    return result;
+  }
+  result.segment = std::move(seg);
+  return result;
+}
+
+}  // namespace tcpz::tcp

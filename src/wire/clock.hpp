@@ -1,0 +1,51 @@
+// Monotonic wall-clock shim for the real-wire backend.
+//
+// The defense policies, the listener and the connectors are written against
+// SimTime — the simulator feeds them discrete-event time. On the wire they
+// must see *real* monotonic time instead, but through the same type, so the
+// policy objects run unmodified. A Clock anchors an epoch at construction
+// and renders every subsequent steady_clock reading as a SimTime offset from
+// it.
+//
+// Anchoring at zero matters beyond type compatibility: the 32-bit
+// millisecond wire clock (challenge timestamps, TCP TSval) is a truncation
+// of SimTime, and starting near zero keeps a test's wire timestamps far from
+// the wrap point — the wrap-safe serial arithmetic is still exercised by the
+// dedicated unit tests, not by accident in every socket test.
+//
+// steady_clock, never system_clock: NTP steps under a wire run would move
+// challenge freshness windows and retransmit deadlines backwards.
+#pragma once
+
+#include <chrono>
+
+#include "util/time.hpp"
+
+namespace tcpz::wire {
+
+class Clock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  Clock() : epoch_(std::chrono::steady_clock::now()) {}
+  /// Shares another clock's epoch, so host and load generator timestamps
+  /// are directly comparable (they still race by scheduling jitter, which
+  /// is the point of a wire run).
+  explicit Clock(TimePoint epoch) : epoch_(epoch) {}
+
+  [[nodiscard]] TimePoint epoch() const { return epoch_; }
+
+  /// Monotonic time since the epoch, as the SimTime the sans-I/O state
+  /// machines expect.
+  [[nodiscard]] SimTime now() const {
+    return SimTime::nanoseconds(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+ private:
+  TimePoint epoch_;
+};
+
+}  // namespace tcpz::wire

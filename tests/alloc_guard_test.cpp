@@ -21,7 +21,7 @@
 #include "puzzle/types.hpp"
 #include "tcp/options.hpp"
 #include "tcp/segment.hpp"
-#include "tcp/wire.hpp"
+#include "tcp/wire_format.hpp"
 
 #include "util/alloc_counter.hpp"
 

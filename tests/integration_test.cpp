@@ -8,6 +8,7 @@
 
 #include "core/tcppuzzles.hpp"
 #include "net/topology.hpp"
+#include "tcp/wire_format.hpp"
 
 namespace tcpz {
 namespace {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "tcp/options.hpp"
+#include "tcp/wire_format.hpp"
 #include "tcp/segment.hpp"
 
 namespace tcpz::tcp {

@@ -18,6 +18,7 @@
 #include "puzzle/engine.hpp"
 #include "tcp/listener.hpp"
 #include "tcp/options.hpp"
+#include "tcp/wire_format.hpp"
 #include "tcp/syncookie.hpp"
 #include "util/rng.hpp"
 
