@@ -23,6 +23,7 @@
 
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "par/engine.hpp"
 #include "scenario/spec.hpp"
 #include "sim/scenario.hpp"
 
@@ -35,7 +36,14 @@ struct Args {
   /// Chrome trace_event JSON to results/TRACE_<artifact>[_<run>].json.
   bool trace = false;
   std::size_t trace_ring = 1u << 16;  ///< --trace-ring N (events)
+  /// --shards N: run scenarios on the sharded engine (src/par/) with N
+  /// worker shards. 1 (the default) is the plain single-thread path.
+  int shards = 1;
 };
+
+/// Shard count of the current bench process, recorded in every BENCH JSON
+/// label block (set by parse(), read by write_json_report()).
+inline int g_shards = 1;  // NOLINT
 
 inline Args parse(int argc, char** argv) {
   Args args;
@@ -48,7 +56,11 @@ inline Args parse(int argc, char** argv) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
     }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      args.shards = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    }
   }
+  g_shards = args.shards;
   return args;
 }
 
@@ -152,7 +164,9 @@ inline tcpz::scenario::Result run_scenario(tcpz::scenario::Spec spec,
     spec.obs.chrome_trace_path = stem + ".json";
     spec.obs.flows_path = stem + ".flows.txt";
   }
-  tcpz::scenario::Result res = tcpz::scenario::run(spec);
+  tcpz::scenario::Result res =
+      args.shards > 1 ? tcpz::par::run(spec, {.shards = args.shards})
+                      : tcpz::scenario::run(spec);
   register_result(res, run);
   return res;
 }
@@ -190,9 +204,12 @@ inline void write_json_report() {
     std::fprintf(f, "%s\n    \"%s\": %.9g", i ? "," : "",
                  json_escape(g_metrics[i].first).c_str(), g_metrics[i].second);
   }
-  std::fprintf(f, "\n  },\n  \"labels\": {");
+  // Every report identifies its engine configuration: "shards" is always
+  // the first label, so result files from sharded and single-thread runs of
+  // the same bench are distinguishable.
+  std::fprintf(f, "\n  },\n  \"labels\": {\n    \"shards\": \"%d\"", g_shards);
   for (std::size_t i = 0; i < g_labels.size(); ++i) {
-    std::fprintf(f, "%s\n    \"%s\": \"%s\"", i ? "," : "",
+    std::fprintf(f, ",\n    \"%s\": \"%s\"",
                  json_escape(g_labels[i].first).c_str(),
                  json_escape(g_labels[i].second).c_str());
   }

@@ -11,6 +11,7 @@ Host* Topology::add_host(const std::string& name, std::uint32_t addr,
   auto host = std::make_unique<Host>(sim_, name, addr);
   Host* ptr = host.get();
   nodes_.push_back(std::move(host));
+  index_[ptr] = nodes_.size() - 1;
   hosts_.push_back(ptr);
   if (advertise) advertised_.push_back({nodes_.size() - 1, addr});
   return ptr;
@@ -20,20 +21,20 @@ Router* Topology::add_router(const std::string& name) {
   auto router = std::make_unique<Router>(sim_, name);
   Router* ptr = router.get();
   nodes_.push_back(std::move(router));
+  index_[ptr] = nodes_.size() - 1;
   return ptr;
 }
 
 Node* Topology::add_node(std::unique_ptr<Node> node) {
   Node* ptr = node.get();
   nodes_.push_back(std::move(node));
+  index_[ptr] = nodes_.size() - 1;
   return ptr;
 }
 
 std::size_t Topology::index_of(const Node* node) const {
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].get() == node) return i;
-  }
-  return nodes_.size();
+  const auto it = index_.find(node);
+  return it == index_.end() ? nodes_.size() : it->second;
 }
 
 void Topology::advertise(Node* node, std::uint32_t addr) {
@@ -85,7 +86,14 @@ void Topology::compute_routes() {
   for (const auto& [idx, addr] : advertised_) addrs_at[idx].push_back(addr);
 
   // BFS from each source; record the first-hop link toward every node.
+  // Single-uplink hosts are skipped: their default route already covers every
+  // destination through the same (only) link an exact route would pick, so
+  // forwarding behavior is identical and a 100k-host edge costs no BFS.
   for (std::size_t src = 0; src < n; ++src) {
+    if (adj[src].size() == 1 &&
+        dynamic_cast<Host*>(nodes_[src].get()) != nullptr) {
+      continue;
+    }
     std::vector<Link*> first_hop(n, nullptr);
     std::vector<bool> seen(n, false);
     seen[src] = true;

@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/link.hpp"
@@ -67,6 +68,9 @@ class Topology {
 
   Simulator& sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// Node pointer -> nodes_ index, so connect()/advertise() stay O(1) per
+  /// call; a 100k-host topology would otherwise pay O(n) per connect.
+  std::unordered_map<const Node*, std::size_t> index_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<Edge> edges_;
   std::vector<Host*> hosts_;

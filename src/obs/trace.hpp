@@ -28,8 +28,10 @@
 // SYN -> challenge -> solve -> established/drop stories.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -216,12 +218,38 @@ class Recorder {
   /// scenario => same digest.
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Appends an already-formed event, bypassing the category mask — the
+  /// merge path for per-shard recorders (src/par/ sorts the shards' retained
+  /// events by sim time and folds them into one ring). Same single-writer
+  /// rules as record(): the merging thread is the writer.
+  void append(const TraceEvent& ev) {
+    assert_single_writer();
+    ring_[static_cast<std::size_t>(head_) & idx_mask_] = ev;
+    ++head_;
+  }
+
   void clear() {
     head_ = 0;
     suppressed_ = 0;
+#ifndef NDEBUG
+    writer_ = std::thread::id{};
+#endif
   }
 
  private:
+  /// Debug teeth for the single-writer contract: the first write pins the
+  /// owning thread; any other thread writing the same ring is a race the
+  /// thread_local install was supposed to make impossible.
+  void assert_single_writer() {
+#ifndef NDEBUG
+    const std::thread::id self = std::this_thread::get_id();
+    if (writer_ == std::thread::id{}) writer_ = self;
+    assert(writer_ == self &&
+           "obs::Recorder written from two threads — each shard must "
+           "install (and be the sole writer of) its own recorder");
+#endif
+  }
+
   void store(SimTime t, Code code, std::uint16_t track, std::uint32_t saddr,
              std::uint32_t daddr, std::uint16_t sport, std::uint16_t dport,
              std::uint64_t a0, std::uint64_t a1) {
@@ -230,6 +258,7 @@ class Recorder {
       ++suppressed_;
       return;
     }
+    assert_single_writer();
     TraceEvent& ev = ring_[static_cast<std::size_t>(head_) & idx_mask_];
     ev.t = t.nanos();
     ev.saddr = saddr;
@@ -249,14 +278,29 @@ class Recorder {
   std::uint64_t head_ = 0;
   std::uint64_t suppressed_ = 0;
   std::uint32_t mask_ = kAllCategories;
+#ifndef NDEBUG
+  std::thread::id writer_{};  ///< pinned by the first write; see above
+#endif
 };
 
-/// The installed recorder, or nullptr. A plain global: the simulator is
-/// single-threaded, and a single load keeps the disabled path to one branch.
+/// The installed recorder, or nullptr — one slot PER THREAD.
+///
+/// Single-writer contract (the sharded engine in src/par/ depends on it):
+/// a Recorder has exactly one writing thread — the thread that installed
+/// it. The slot is thread_local, so installing a recorder never makes its
+/// ring visible to another thread's TCPZ_TRACE sites: each simulation
+/// shard (and the wire backend's host thread) installs its own recorder
+/// and is that ring's only writer, with no atomics or locks on the record
+/// path. Readers (digest/export/merge) run after the writing thread is
+/// joined or otherwise quiescent. Debug builds assert the contract: the
+/// first record() pins the writer thread and cross-thread writes abort.
+/// The disabled path stays a single TLS load + predictable branch.
 namespace detail {
-inline Recorder* g_recorder = nullptr;  // NOLINT
+inline thread_local Recorder* g_recorder = nullptr;  // NOLINT
 }  // namespace detail
 
+/// This thread's installed recorder (other threads' recorders are never
+/// visible here — see the single-writer contract above).
 [[nodiscard]] inline Recorder* recorder() { return detail::g_recorder; }
 inline void install_recorder(Recorder* r) { detail::g_recorder = r; }
 

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "tcp/wire_format.hpp"
 
 namespace tcpz::wire {
@@ -110,7 +111,15 @@ void Host::start() {
   if (::timerfd_settime(timer_fd_, 0, &spec, nullptr) != 0) {
     fail("timerfd_settime", errno);
   }
-  thread_ = std::thread([this] { run(); });
+  // The recorder slot is thread_local (single-writer contract, see
+  // obs/trace.hpp): hand the caller's installed recorder to the loop thread,
+  // which installs it for exactly the run() scope and is its only writer —
+  // the documented "install before start(), read after join()" behavior.
+  obs::Recorder* rec = obs::recorder();
+  thread_ = std::thread([this, rec] {
+    obs::ScopedRecorder scoped(rec);
+    run();
+  });
 }
 
 void Host::stop() {
